@@ -1,0 +1,63 @@
+"""Shared machinery for the benchmark harness.
+
+Several paper artifacts come from the *same* experimental run (Figure 9
+and Tables 2/3 and Figure 10 all observe the four server scenarios;
+Table 4 and the client-L2 claim share the client scenarios), exactly as
+in the paper.  The cache below runs each underlying experiment once per
+pytest session; the first benchmark that needs a result pays for it
+inside its timed section, the rest reuse it.
+
+Rendered tables are printed and also written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict
+
+import pytest
+
+from repro.evaluation import (
+    run_all_client_scenarios,
+    run_all_server_scenarios,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Simulated seconds per scenario.  The paper ran 10 minutes; 25 s gives
+# ~5000 packets per server scenario, plenty for stable medians.
+SERVER_SECONDS = 25.0
+CLIENT_SECONDS = 25.0
+
+_cache: Dict[str, object] = {}
+
+
+def server_results():
+    if "server" not in _cache:
+        _cache["server"] = run_all_server_scenarios(seconds=SERVER_SECONDS)
+    return _cache["server"]
+
+
+def client_results():
+    if "client" not in _cache:
+        _cache["client"] = run_all_client_scenarios(seconds=CLIENT_SECONDS)
+    return _cache["client"]
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture()
+def one_shot(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,73 @@
+"""Ablation: peer-to-peer (PCIe) vs legacy PCI bus for the data plane.
+
+The paper's footnote 2: "if the bus architecture allows it (e.g., PCIe),
+this packet could be transferred in a single bus transaction" — one
+NIC-originated transfer reaching both the GPU and the disk controller.
+On classic PCI the same multicast must stage through host memory,
+doubling transactions per destination and re-introducing the host-memory
+crossings offloading exists to eliminate.
+
+Both configurations run the full offloaded client; application output is
+identical — only the bus bill differs.
+"""
+
+from conftest import publish
+
+from repro.evaluation import format_table
+from repro.hw.bus import BusSpec, HOST_MEMORY
+from repro.tivopc import OffloadedClient, OffloadedServer, Testbed, \
+    TestbedConfig
+
+SECONDS = 10.0
+
+
+def run_with_bus(bus: BusSpec):
+    testbed = Testbed(TestbedConfig(seed=1, client_bus=bus))
+    testbed.start()
+    client = OffloadedClient(testbed)
+    client.start()
+    OffloadedServer(testbed).start()
+    testbed.run(SECONDS)
+    bus_model = testbed.client.machine.bus
+    return {
+        "chunks": client.chunks_received,
+        "frames": client.frames_shown,
+        "host_crossings": bus_model.host_memory_crossings(),
+        "total_crossings": bus_model.total_crossings(),
+        "bus_busy": bus_model.utilization(),
+        "bytes_moved": bus_model.bytes_moved,
+    }
+
+
+def test_bench_ablation_bus(one_shot):
+    def sweep():
+        return {
+            "pcie": run_with_bus(BusSpec()),
+            "pci": run_with_bus(BusSpec.pci_legacy()),
+        }
+
+    results = one_shot(sweep)
+    publish("ablation_bus", format_table(
+        "Ablation: offloaded client on PCIe (peer-to-peer) vs legacy PCI",
+        ["bus", "chunks", "host-mem crossings", "total crossings",
+         "bus busy", "MB moved"],
+        [[name,
+          str(r["chunks"]),
+          str(r["host_crossings"]),
+          str(r["total_crossings"]),
+          f"{r['bus_busy']:.2%}",
+          f"{r['bytes_moved'] / (1 << 20):.1f}"]
+         for name, r in results.items()]))
+
+    pcie, pci = results["pcie"], results["pci"]
+    # Same application behaviour either way.
+    assert abs(pcie["chunks"] - pci["chunks"]) <= 2
+    assert abs(pcie["frames"] - pci["frames"]) <= 2
+    # PCIe: essentially no host-memory involvement (deployment only).
+    assert pcie["host_crossings"] < 30
+    # PCI: every data-plane packet staged through host memory twice
+    # per destination pair -> thousands of crossings.
+    assert pci["host_crossings"] > 2 * pci["chunks"]
+    # And more transactions + bytes on the wire overall.
+    assert pci["total_crossings"] > 1.5 * pcie["total_crossings"]
+    assert pci["bytes_moved"] > 1.5 * pcie["bytes_moved"]

@@ -1,0 +1,35 @@
+"""Ablation: energy of the server machine under each server variant.
+
+Offloading argument #3 (Section 1.1): "a Pentium 4 2.8 GHz processor
+consumes 68 W whereas an Intel XScale 600 MHz processor ... consumes
+0.5 W, two orders of magnitude less.  By offloading suitable operations
+to low-powered peripherals, we reduce the overall system power
+consumption."  The offloaded server must shift its marginal energy from
+the host CPU to the NIC CPU, where the same logical work costs ~100x
+less power.
+"""
+
+from conftest import publish
+
+from repro.evaluation import render_power_ablation, run_power_comparison
+
+
+def test_bench_ablation_power(one_shot):
+    results = one_shot(run_power_comparison, 20.0)
+    publish("ablation_power", render_power_ablation(results))
+
+    simple = results["simple"]
+    sendfile = results["sendfile"]
+    offloaded = results["offloaded"]
+
+    # Host CPU energy: simple > sendfile > offloaded.
+    assert simple.host_joules > sendfile.host_joules > \
+        offloaded.host_joules
+    # The offloaded variant moved work onto the NIC...
+    assert offloaded.device_joules > simple.device_joules
+    # ...but the NIC's absolute energy is tiny next to the host delta.
+    host_saving = simple.host_joules - offloaded.host_joules
+    device_cost = offloaded.device_joules - simple.device_joules
+    assert host_saving > 20 * device_cost
+    # Machine totals follow.
+    assert offloaded.total_joules < simple.total_joules

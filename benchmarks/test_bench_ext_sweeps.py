@@ -1,0 +1,62 @@
+"""Extension benches: rate and chunk-size sweeps (beyond the paper).
+
+These generalize the paper's single operating point (1 kB / 5 ms) and
+verify the offload advantage *scales*: host-server jitter and CPU grow
+with stream rate and with payload size, while the firmware-paced server
+stays flat on both axes.
+"""
+
+from conftest import publish
+
+from repro.evaluation.sweeps import (
+    render_sweep,
+    run_chunk_size_sweep,
+    run_rate_sweep,
+)
+
+
+def test_bench_ext_rate_sweep(one_shot):
+    results = one_shot(run_rate_sweep, (10.0, 5.0, 2.5),
+                       ("simple", "offloaded"), 8.0)
+    publish("ext_rate_sweep", render_sweep(
+        "Extension: jitter/CPU vs stream rate", results, "interval ms"))
+
+    simple = results["simple"]
+    offloaded = results["offloaded"]
+    # The offloaded server keeps exact pace at every rate.
+    for point in offloaded:
+        assert point.achieved_rate_fraction > 0.995
+        assert point.relative_jitter < 0.02
+    # The simple server falls further behind as the interval shrinks.
+    lags = [p.achieved_rate_fraction for p in simple]
+    assert lags[0] > lags[-1]
+    assert lags[-1] < 0.75        # at 2.5 ms it cannot keep up
+    # Relative jitter of the host server grows with rate.
+    rels = [p.relative_jitter for p in simple]
+    assert rels[-1] > rels[0]
+    # Host CPU grows with rate for simple, stays idle-flat offloaded.
+    assert simple[-1].cpu_utilization > simple[0].cpu_utilization
+    spread = (max(p.cpu_utilization for p in offloaded)
+              - min(p.cpu_utilization for p in offloaded))
+    assert spread < 0.01
+
+
+def test_bench_ext_chunk_size_sweep(one_shot):
+    results = one_shot(run_chunk_size_sweep, (1024, 4096, 16384),
+                       ("simple", "offloaded"), 5.0, 8.0)
+    publish("ext_chunk_sweep", render_sweep(
+        "Extension: jitter/CPU vs chunk size at 5 ms", results,
+        "chunk bytes"))
+
+    simple = results["simple"]
+    offloaded = results["offloaded"]
+    # Copy costs scale with payload: simple's CPU grows with chunk size.
+    assert simple[-1].cpu_utilization > simple[0].cpu_utilization + 0.005
+    # The offloaded server's host CPU does not move.
+    spread = (max(p.cpu_utilization for p in offloaded)
+              - min(p.cpu_utilization for p in offloaded))
+    assert spread < 0.01
+    # Pacing stays exact regardless of payload (the wire is not the
+    # bottleneck at these sizes).
+    for point in offloaded:
+        assert abs(point.jitter.average - 5.0) < 0.05

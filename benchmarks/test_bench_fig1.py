@@ -1,0 +1,36 @@
+"""Figure 1: GHz/Gbps transmit and receive ratios vs packet size.
+
+Shape requirements (the reproduction target): both ratios fall
+monotonically with packet size; receive costs more than transmit at
+every size; small packets burn multiple GHz per Gbps while 64 kB
+packets approach the per-byte floor.
+"""
+
+from conftest import publish
+
+from repro.evaluation import render_fig1, run_fig1
+from repro.evaluation.foong import TcpCostModel
+
+
+def test_bench_fig1(one_shot):
+    series = one_shot(run_fig1)
+    publish("fig1", render_fig1(series))
+
+    sizes = [s for s, _tx, _rx in series]
+    tx = [t for _s, t, _rx in series]
+    rx = [r for _s, _tx, r in series]
+    # Monotone decreasing in packet size.
+    assert all(a > b for a, b in zip(tx, tx[1:]))
+    assert all(a > b for a, b in zip(rx, rx[1:]))
+    # Receive dearer than transmit throughout.
+    assert all(r > t for t, r in zip(tx, rx))
+    # Magnitudes: several GHz/Gbps at 64 B, below 1 at MTU and beyond.
+    assert tx[0] > 4.0 and rx[0] > 8.0
+    mtu_index = sizes.index(1460)
+    assert rx[mtu_index] < 3.0
+    assert tx[-1] < 0.3 and rx[-1] < 0.5
+    # The headline argument: a 2.4 GHz CPU saturates below ~2 Gbps of
+    # MTU-sized receive traffic — cycles can all go to networking.
+    model = TcpCostModel()
+    assert model.saturation_throughput_gbps(1460, "rx", 2.4) < 4.0
+    assert model.cpu_utilization(64, "rx", 1.0, 2.4) > 1.0

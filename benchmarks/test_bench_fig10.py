@@ -1,0 +1,32 @@
+"""Figure 10: server-side L2 miss-rate slowdown, normalized to idle.
+
+Paper bars: Simple ~1.07 (a 7 % increase), Sendfile ~= idle
+("the effect on the L2 cache is negligible"), Offloaded = idle.
+The mechanism: the simple server's read()/sendto() copies stream every
+payload byte through the cache, evicting the resident working set;
+sendfile's DMA + scatter-gather path never touches the data with the
+CPU; the offloaded server leaves host memory entirely alone.
+"""
+
+from conftest import publish, server_results
+
+from repro.evaluation import render_fig10
+
+
+def test_bench_fig10(one_shot):
+    results = one_shot(server_results)
+    publish("fig10", render_fig10(results))
+
+    idle = results["idle"].l2_miss_rate
+    assert idle > 0.05   # the idle system has a real baseline to normalize by
+    normalized = {name: results[name].l2_miss_rate / idle
+                  for name in ("simple", "sendfile", "offloaded")}
+
+    # Simple: a clear single-digit-percent increase.
+    assert 1.03 < normalized["simple"] < 1.15
+    # Sendfile: negligible (within 2 % of idle).
+    assert abs(normalized["sendfile"] - 1.0) < 0.02
+    # Offloaded: identical to idle (within sampling noise).
+    assert abs(normalized["offloaded"] - 1.0) < 0.01
+    # Ordering.
+    assert normalized["simple"] > normalized["sendfile"]

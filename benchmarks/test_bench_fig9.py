@@ -1,0 +1,33 @@
+"""Figure 9: jitter histogram and CDF for the three server variants.
+
+Shape requirements: the offloaded server's distribution is a narrow
+spike at 5 ms; sendfile centres near 6 ms; the simple server centres
+near 7 ms with the widest spread.  The CDF ordering matches: at any
+quantile, offloaded < sendfile < simple.
+"""
+
+from conftest import publish, server_results, SERVER_SECONDS
+
+from repro.evaluation import render_fig9
+
+
+def test_bench_fig9(one_shot):
+    results = one_shot(server_results)
+    publish("fig9", render_fig9(results))
+
+    simple = results["simple"].jitter
+    sendfile = results["sendfile"].jitter
+    offloaded = results["offloaded"].jitter
+
+    # Means: ~7 / ~6 / exactly 5 ms.
+    assert 6.7 < simple.average < 7.3
+    assert 5.8 < sendfile.average < 6.3
+    assert 4.98 < offloaded.average < 5.02
+    # Spread ordering: offloaded is an order of magnitude tighter.
+    assert offloaded.stdev < 0.08
+    assert offloaded.stdev * 5 < sendfile.stdev
+    assert sendfile.stdev < simple.stdev
+    # Each scenario actually delivered a sustained stream.
+    expected = SERVER_SECONDS * 1000 / 5   # one packet per 5 ms
+    for name in ("simple", "sendfile", "offloaded"):
+        assert results[name].packets > 0.55 * expected

@@ -1,0 +1,28 @@
+"""Table 2: client-side jitter statistics (median / average / stddev).
+
+Paper row targets: Simple 6.99/7.00/0.5521, Sendfile 6.00/5.99/0.4720,
+Offloaded 5.00/5.00/0.0369 (milliseconds).
+"""
+
+from conftest import publish, server_results
+
+from repro.evaluation import PAPER_TABLE2, render_table2
+
+
+def test_bench_table2(one_shot):
+    results = one_shot(server_results)
+    publish("table2", render_table2(results))
+
+    for scenario, (p_med, p_avg, p_std) in PAPER_TABLE2.items():
+        measured = results[scenario].jitter
+        # Medians and averages within 5 % of the paper's values.
+        assert abs(measured.median - p_med) / p_med < 0.05, scenario
+        assert abs(measured.average - p_avg) / p_avg < 0.05, scenario
+    # Standard deviations: correct order of magnitude per row, and the
+    # paper's strict ordering across rows.
+    assert 0.4 < results["simple"].jitter.stdev < 0.7
+    assert 0.3 < results["sendfile"].jitter.stdev < 0.6
+    assert 0.015 < results["offloaded"].jitter.stdev < 0.06
+    assert (results["offloaded"].jitter.stdev
+            < results["sendfile"].jitter.stdev
+            < results["simple"].jitter.stdev)

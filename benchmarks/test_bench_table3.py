@@ -1,0 +1,30 @@
+"""Table 3: server-side CPU utilization.
+
+Paper rows (%): Idle 2.90/2.86/0.09, Simple 7.50/7.50/0.12,
+Sendfile 5.90/6.20/0.08, Offloaded 2.90/2.86/0.09.  The headline: the
+offloaded server is indistinguishable from an idle machine.
+"""
+
+from conftest import publish, server_results
+
+from repro.evaluation import render_table3
+
+
+def test_bench_table3(one_shot):
+    results = one_shot(server_results)
+    publish("table3", render_table3(results))
+
+    idle = results["idle"].cpu.average
+    simple = results["simple"].cpu.average
+    sendfile = results["sendfile"].cpu.average
+    offloaded = results["offloaded"].cpu.average
+
+    # Absolute levels near the paper's.
+    assert 0.025 < idle < 0.033
+    assert 0.070 < simple < 0.080
+    assert 0.057 < sendfile < 0.067
+    # Ordering: simple > sendfile > offloaded ~= idle.
+    assert simple > sendfile > offloaded
+    assert abs(offloaded - idle) < 0.003
+    # Magnitude of the win: offloading removes the entire server load.
+    assert (simple - idle) / (abs(offloaded - idle) + 1e-4) > 10

@@ -1,0 +1,40 @@
+"""Table 4: client-side CPU utilization, plus the client L2 claim.
+
+Paper rows (%): Idle 2.90/2.86/0.09, User-space 7.30/6.90/0.32,
+Offloaded 2.90/2.86/0.09.  "The offloading is complete in the sense
+that there are no components left on the host processor."  The text
+adds: the non-offloaded client generates 12 % more L2 misses, "much of
+this ... due to the MPEG decoding process."
+"""
+
+from conftest import client_results, publish
+
+from repro.evaluation import render_client_l2, render_table4
+
+
+def test_bench_table4(one_shot):
+    results = one_shot(client_results)
+    publish("table4", render_table4(results))
+    publish("client_l2", render_client_l2(results))
+
+    idle = results["idle"].cpu.average
+    user = results["user-space"].cpu.average
+    offloaded = results["offloaded"].cpu.average
+
+    assert 0.025 < idle < 0.033
+    assert 0.060 < user < 0.080
+    # Full offload: client CPU == idle CPU.
+    assert abs(offloaded - idle) < 0.004
+    # The user-space client did real media work.
+    assert results["user-space"].frames > 100
+    assert results["user-space"].recorded_bytes > 1_000_000
+    # The offloaded client did the same work without the host.
+    assert results["offloaded"].frames > 100
+    assert results["offloaded"].recorded_bytes > 1_000_000
+
+    # L2: +~12 % for the user-space client, idle-equal when offloaded.
+    idle_l2 = results["idle"].l2_miss_rate
+    user_l2 = results["user-space"].l2_miss_rate / idle_l2
+    off_l2 = results["offloaded"].l2_miss_rate / idle_l2
+    assert 1.06 < user_l2 < 1.20
+    assert abs(off_l2 - 1.0) < 0.03

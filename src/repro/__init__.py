@@ -1,0 +1,24 @@
+"""repro — a reproduction of HYDRA (ASPLOS 2008).
+
+"Tapping into the Fountain of CPUs — On Operating System Support for
+Programmable Devices", Weinsberg, Dolev, Anker, Ben-Yehuda, Wyckoff.
+
+Packages:
+
+* :mod:`repro.sim` — discrete-event engine (from scratch).
+* :mod:`repro.hw` — simulated hardware: CPUs, L2 cache, buses,
+  programmable NIC / GPU / smart disk, power model.
+* :mod:`repro.hostos` — simulated Linux-2.6-class kernel: ticks,
+  scheduler latency, UDP sockets, NFS.
+* :mod:`repro.net` — packets, links, gigabit switch, device-side ports.
+* :mod:`repro.media` — synthetic MPEG streams and decode cost models.
+* :mod:`repro.core` — the HYDRA framework itself: Offcodes, ODF
+  manifests, channels and providers, the runtime, dynamic loaders, and
+  the Section-5 ILP layout optimizer.
+* :mod:`repro.tivopc` — the TiVoPC case study (servers, clients,
+  testbed, metrics).
+* :mod:`repro.evaluation` — drivers and reporting for every table and
+  figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,133 @@
+"""The HYDRA framework — the paper's primary contribution.
+
+Public surface, by concern:
+
+* **Programming model**: :class:`~repro.core.offcode.Offcode`,
+  :class:`~repro.core.interfaces.InterfaceSpec`,
+  :class:`~repro.core.odf.OdfDocument`/:class:`~repro.core.odf.OdfLibrary`,
+  :class:`~repro.core.proxy.Proxy`, :class:`~repro.core.call.Call`.
+* **Channels**: :class:`~repro.core.channel.Channel` and its config
+  enums, providers, and the
+  :class:`~repro.core.executive.ChannelExecutive`.
+* **Runtime**: :class:`~repro.core.runtime.HydraRuntime` (the
+  Offloading Access Layer facade), the deployment pipeline, depot,
+  loaders, hierarchical resources and memory services.
+* **Layout optimization** (Section 5): :mod:`repro.core.layout`.
+"""
+
+from repro.core.call import Call, ReturnDescriptor, make_call
+from repro.core.channel import (
+    Buffering,
+    Channel,
+    ChannelConfig,
+    ChannelKind,
+    Endpoint,
+    Message,
+    Reliability,
+    SyncMode,
+)
+from repro.core.deployment import (
+    DeploymentPipeline,
+    DeploymentReport,
+    OOB_CHANNEL_CONFIG,
+)
+from repro.core.depot import DepotEntry, OffcodeDepot
+from repro.core.devruntime import DeviceRuntime
+from repro.core.executive import ChannelExecutive
+from repro.core.guid import Guid, guid_from_name, parse_guid
+from repro.core.interfaces import IOFFCODE, InterfaceSpec, MethodSpec
+from repro.core.loader import (
+    DeviceLinkedLoader,
+    HostLinkedLoader,
+    LoaderRegistry,
+    LoadReport,
+    OffcodeImage,
+    compile_for_target,
+)
+from repro.core.memory import MemoryManager, PinnedRegion
+from repro.core.odf import (
+    DeviceClassFilter,
+    OdfDocument,
+    OdfImport,
+    OdfLibrary,
+    SoftwareRequirements,
+)
+from repro.core.offcode import Offcode, OffcodeState
+from repro.core.providers import (
+    CostMetric,
+    DmaChannelProvider,
+    LoopbackProvider,
+    PeerDmaProvider,
+)
+from repro.core.proxy import Proxy
+from repro.core.pseudo import (
+    ChannelExecutiveOffcode,
+    HeapOffcode,
+    RuntimeOffcode,
+)
+from repro.core.resources import ResourceNode, ResourceTree
+from repro.core.rings import Descriptor, DescriptorRing
+from repro.core.runtime import CreateOffcodeResult, HydraRuntime
+from repro.core.sites import DeviceSite, ExecutionSite, HostSite
+from repro.core.wsdl import parse_wsdl, write_wsdl
+
+__all__ = [
+    "Buffering",
+    "Call",
+    "Channel",
+    "ChannelConfig",
+    "ChannelExecutive",
+    "ChannelExecutiveOffcode",
+    "ChannelKind",
+    "CostMetric",
+    "CreateOffcodeResult",
+    "DeploymentPipeline",
+    "DeploymentReport",
+    "DepotEntry",
+    "Descriptor",
+    "DescriptorRing",
+    "DeviceClassFilter",
+    "DeviceLinkedLoader",
+    "DeviceRuntime",
+    "DeviceSite",
+    "DmaChannelProvider",
+    "Endpoint",
+    "ExecutionSite",
+    "Guid",
+    "HeapOffcode",
+    "HostLinkedLoader",
+    "HostSite",
+    "HydraRuntime",
+    "IOFFCODE",
+    "InterfaceSpec",
+    "LoadReport",
+    "LoaderRegistry",
+    "LoopbackProvider",
+    "MemoryManager",
+    "Message",
+    "MethodSpec",
+    "OOB_CHANNEL_CONFIG",
+    "OdfDocument",
+    "OdfImport",
+    "OdfLibrary",
+    "Offcode",
+    "OffcodeDepot",
+    "OffcodeImage",
+    "OffcodeState",
+    "PeerDmaProvider",
+    "PinnedRegion",
+    "Proxy",
+    "Reliability",
+    "ResourceNode",
+    "ResourceTree",
+    "ReturnDescriptor",
+    "RuntimeOffcode",
+    "SoftwareRequirements",
+    "SyncMode",
+    "compile_for_target",
+    "guid_from_name",
+    "make_call",
+    "parse_guid",
+    "parse_wsdl",
+    "write_wsdl",
+]

@@ -1,0 +1,103 @@
+"""Call objects — the unit of inter-Offcode invocation.
+
+"All interface methods return a Call object that contains the relevant
+method information including the serialized input parameters.  Once a
+Call object is obtained, it can be sent to a target device (or several
+devices) by using a connected channel" (Section 3.1).
+
+A Call carries the target interface GUID, the method name, the encoded
+arguments, and (for two-way methods) a *return descriptor* the callee
+uses to deliver the result — in the simulation the descriptor is a
+pending event on the caller's simulator, mirroring the paper's
+"embedded return descriptor [used] to DMA the return value back".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Tuple
+
+from repro.errors import InterfaceError, MarshalError
+from repro.core.guid import Guid
+from repro.core.interfaces import InterfaceSpec, MethodSpec
+from repro.core import marshal
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Call", "ReturnDescriptor", "make_call"]
+
+_call_ids = itertools.count(1)
+
+
+class ReturnDescriptor:
+    """Where the return value of a two-way Call should be delivered."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.event: Event = sim.event()
+        self.delivered = False
+
+    def deliver(self, encoded_result: bytes) -> None:
+        """Complete the call with an encoded result (exactly once)."""
+        if self.delivered:
+            raise MarshalError("return descriptor used twice")
+        self.delivered = True
+        self.event.succeed(encoded_result)
+
+    def deliver_error(self, exc: Exception) -> None:
+        """Complete the call with a remote exception (exactly once)."""
+        if self.delivered:
+            raise MarshalError("return descriptor used twice")
+        self.delivered = True
+        self.event.defused = True  # type: ignore[attr-defined]
+        self.event.fail(exc)
+
+
+class Call:
+    """A serialized method invocation."""
+
+    def __init__(self, interface_guid: Guid, method: str,
+                 encoded_args: bytes,
+                 return_descriptor: Optional[ReturnDescriptor] = None) -> None:
+        self.call_id = next(_call_ids)
+        self.interface_guid = interface_guid
+        self.method = method
+        self.encoded_args = encoded_args
+        self.return_descriptor = return_descriptor
+
+    @property
+    def one_way(self) -> bool:
+        """True when no reply is expected (no return descriptor)."""
+        return self.return_descriptor is None
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size: header (GUID + method + id) + arguments."""
+        return 24 + len(self.method) + len(self.encoded_args)
+
+    def args(self) -> Tuple[Any, ...]:
+        """Deserialize the argument tuple."""
+        decoded = marshal.decode(self.encoded_args)
+        if not isinstance(decoded, list):
+            raise MarshalError("call arguments must decode to a list")
+        return tuple(decoded)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Call #{self.call_id} {self.interface_guid}.{self.method} "
+                f"{self.size_bytes}B>")
+
+
+def make_call(sim: Simulator, interface: InterfaceSpec, method_name: str,
+              args: Tuple[Any, ...]) -> Call:
+    """Build a Call against ``interface``, validating the signature.
+
+    This is the "manual invocation scheme" of Section 3.1 — proxies use
+    it under the hood for the transparent scheme.
+    """
+    method: MethodSpec = interface.method(method_name)
+    if len(args) != method.arity:
+        raise InterfaceError(
+            f"{interface.name}.{method_name} takes {method.arity} "
+            f"argument(s), got {len(args)}")
+    encoded = marshal.encode(list(args))
+    descriptor = None if method.one_way else ReturnDescriptor(sim)
+    return Call(interface_guid=interface.guid, method=method_name,
+                encoded_args=encoded, return_descriptor=descriptor)

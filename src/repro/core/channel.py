@@ -1,0 +1,311 @@
+"""Channels — the communication abstraction between Offcodes.
+
+"Offcodes communicate with each other and with the host application by
+communication channels.  Channels are bidirectional pathways that can be
+connected between two endpoints, or connectionless when only attached to
+one endpoint" (Section 3.2).
+
+A channel's behaviour is the product of its configuration:
+
+* **type** — ``UNICAST`` (exactly two endpoints) or ``MULTICAST``
+  (a sender plus any number of receivers; hardware multicast sends one
+  bus transaction when available);
+* **reliability** — ``RELIABLE`` channels block the writer when the
+  receive ring is full ("careful not to drop messages even though buffer
+  descriptors are not available"); ``UNRELIABLE`` ones drop and count;
+* **sync** — ``SYNC_SEQUENTIAL`` serializes messages in flight (strict
+  FIFO end-to-end); ``SYNC_NONE`` lets transfers overlap;
+* **buffering** — ``DIRECT_READ``/``DIRECT_WRITE`` request the zero-copy
+  data path; the copying flags request bounce-buffer semantics.
+
+The transfer cost itself comes from the channel's *provider*
+(:mod:`repro.core.providers`), chosen by the Channel Executive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import ChannelClosedError, ChannelError
+from repro.core.call import Call
+from repro.core.sites import ExecutionSite
+from repro.sim.engine import Event
+from repro.sim.resources import Resource, Store
+from repro.sim.trace import emit as trace_emit
+
+__all__ = ["ChannelKind", "Reliability", "SyncMode", "Buffering",
+           "ChannelConfig", "Message", "Endpoint", "Channel"]
+
+
+class ChannelKind(enum.Enum):
+    UNICAST = "unicast"
+    MULTICAST = "multicast"
+
+
+class Reliability(enum.Enum):
+    RELIABLE = "reliable"
+    UNRELIABLE = "unreliable"
+
+
+class SyncMode(enum.Enum):
+    SEQUENTIAL = "sequential"
+    NONE = "none"
+
+
+class Buffering(enum.Enum):
+    DIRECT = "direct"        # zero-copy (DIRECT_READ | DIRECT_WRITE)
+    COPY = "copy"
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """The ``ChannelConfig`` structure of Figure 3."""
+
+    kind: ChannelKind = ChannelKind.UNICAST
+    reliability: Reliability = Reliability.RELIABLE
+    sync: SyncMode = SyncMode.SEQUENTIAL
+    buffering: Buffering = Buffering.DIRECT
+    ring_slots: int = 64
+    priority: int = 1               # 0 = low priority (the OOB class)
+    target_device: Optional[str] = None
+    # Application tag carried in the channel-availability notification;
+    # Offcodes use it to recognise which of their channels is which.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ring_slots <= 0:
+            raise ChannelError(f"ring_slots must be positive: {self.ring_slots}")
+
+    def with_target(self, device: Optional[str]) -> "ChannelConfig":
+        """Copy of this config with ``target_device`` set (Figure 3)."""
+        return replace(self, target_device=device)
+
+
+@dataclass
+class Message:
+    """One payload moving through a channel."""
+
+    payload: Any
+    size_bytes: int
+    sent_at_ns: int
+    source: str                    # site name of the writer
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ChannelError(f"negative message size: {self.size_bytes}")
+
+    @property
+    def is_call(self) -> bool:
+        """True when the payload is a :class:`Call` (dispatched, not queued)."""
+        return isinstance(self.payload, Call)
+
+
+class Endpoint:
+    """One side of a channel, bound to an execution site."""
+
+    def __init__(self, channel: "Channel", site: ExecutionSite) -> None:
+        self.channel = channel
+        self.site = site
+        drop = channel.config.reliability is Reliability.UNRELIABLE
+        self.rx: Store = Store(site.sim, capacity=channel.config.ring_slots,
+                               drop_when_full=drop)
+        self._handler: Optional[Callable[[Message], Any]] = None
+        self.bound_offcode = None    # set when an Offcode owns this endpoint
+        self.messages_in = 0
+        self.messages_out = 0
+
+    # -- the channel API of Section 3.2 --------------------------------------------
+
+    def write(self, payload: Any, size_bytes: int
+              ) -> Generator[Event, None, None]:
+        """Send ``payload`` to every other endpoint of the channel."""
+        yield from self.channel._write_from(self, payload, size_bytes)
+
+    def read(self) -> Generator[Event, None, Message]:
+        """Block until a message arrives (FIFO)."""
+        self.channel._check_open()
+        message: Message = yield self.rx.get()
+        return message
+
+    def poll(self) -> bool:
+        """True if :meth:`read` would not block."""
+        return len(self.rx) > 0
+
+    def install_call_handler(self, handler: Callable[[Message], Any]) -> None:
+        """Install a dispatch handler "invoked each time the channel has
+        a new request", instead of polling (Figure 3)."""
+        if self._handler is not None:
+            raise ChannelError("endpoint already has a call handler")
+        self._handler = handler
+
+    # -- delivery ----------------------------------------------------------------------
+
+    def _deliver(self, message: Message) -> Generator[Event, None, None]:
+        self.messages_in += 1
+        if message.is_call and self.bound_offcode is not None:
+            yield from self._dispatch_call(message)
+            return
+        if self._handler is not None:
+            result = self._handler(message)
+            if hasattr(result, "send") and hasattr(result, "throw"):
+                yield from result
+            return
+        yield self.rx.put(message)
+
+    def _dispatch_call(self, message: Message
+                       ) -> Generator[Event, None, None]:
+        """Run a Call on the bound Offcode and ship its reply back.
+
+        "The Offcode uses the embedded return descriptor to DMA the
+        return value back to the application" (Section 4.1): the reply
+        travels the channel in reverse, paying the provider's cost,
+        before the caller's descriptor fires.
+        """
+        from repro.core.call import ReturnDescriptor  # cycle-free import
+        call = message.payload
+        original = call.return_descriptor
+        if original is None:
+            yield from self.bound_offcode.dispatch(call)
+            return
+        local = ReturnDescriptor(self.site.sim)
+        call.return_descriptor = local
+        yield from self.bound_offcode.dispatch(call)
+        if not local.event.triggered:
+            raise ChannelError(
+                f"dispatch of {call.method} returned without delivering "
+                "a result")
+        # Reverse transfer: result header + encoded payload.
+        source_endpoint = next(
+            (e for e in self.channel.endpoints
+             if e.site.name == message.source), None)
+        if source_endpoint is not None and source_endpoint is not self:
+            reply_size = 24 + (len(local.event._value)
+                               if local.event.ok else 32)
+            yield from self.channel.provider.transfer(
+                self.channel, self, [source_endpoint], reply_size)
+        call.return_descriptor = original
+        if local.event.ok:
+            original.deliver(local.event._value)
+        else:
+            original.deliver_error(local.event._value)
+
+
+class Channel:
+    """A configured pathway between two or more endpoints.
+
+    Channels are produced by the Channel Executive; user code receives
+    the creator-side :class:`Endpoint` and calls ``ConnectOffcode``-style
+    attachment through the executive (which builds the remote endpoint
+    and notifies the Offcode over its OOB channel).
+    """
+
+    def __init__(self, config: ChannelConfig, provider,
+                 creator_site: ExecutionSite, channel_id: int) -> None:
+        self.config = config
+        self.provider = provider
+        self.channel_id = channel_id
+        self.endpoints: List[Endpoint] = [Endpoint(self, creator_site)]
+        self.closed = False
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.drops = 0
+        self._sequencer: Optional[Resource] = (
+            Resource(creator_site.sim, capacity=1)
+            if config.sync is SyncMode.SEQUENTIAL else None)
+
+    # -- topology --------------------------------------------------------------------
+
+    @property
+    def creator_endpoint(self) -> Endpoint:
+        """The endpoint made at channel creation (Figure 3, step 1)."""
+        return self.endpoints[0]
+
+    @property
+    def connected(self) -> bool:
+        """True once a second endpoint exists."""
+        return len(self.endpoints) >= 2
+
+    def add_endpoint(self, site: ExecutionSite) -> Endpoint:
+        """Construct the far endpoint (done by the executive)."""
+        self._check_open()
+        if (self.config.kind is ChannelKind.UNICAST
+                and len(self.endpoints) >= 2):
+            raise ChannelError(
+                "unicast channel cannot have more than two endpoints")
+        endpoint = Endpoint(self, site)
+        self.endpoints.append(endpoint)
+        return endpoint
+
+    def endpoint_of(self, offcode) -> Endpoint:
+        """The endpoint bound to ``offcode`` (raises if absent)."""
+        for endpoint in self.endpoints:
+            if endpoint.bound_offcode is offcode:
+                return endpoint
+        raise ChannelError(
+            f"channel #{self.channel_id} has no endpoint bound to "
+            f"{getattr(offcode, 'bindname', offcode)!r}")
+
+    def close(self) -> None:
+        """Mark the channel closed; further operations raise."""
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ChannelClosedError(
+                f"channel #{self.channel_id} is closed")
+
+    # -- data movement -----------------------------------------------------------------
+
+    def _write_from(self, source: Endpoint, payload: Any, size_bytes: int
+                    ) -> Generator[Event, None, None]:
+        self._check_open()
+        if not self.connected:
+            raise ChannelError(
+                f"channel #{self.channel_id} has no remote endpoint")
+        destinations = [e for e in self.endpoints if e is not source]
+        message = Message(payload=payload, size_bytes=size_bytes,
+                          sent_at_ns=source.site.sim.now,
+                          source=source.site.name)
+        if self._sequencer is not None:
+            yield self._sequencer.request()
+        try:
+            yield from self.provider.transfer(self, source, destinations,
+                                              size_bytes)
+        finally:
+            if self._sequencer is not None:
+                self._sequencer.release()
+        source.messages_out += 1
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        trace_emit(source.site.sim, "channel",
+                   f"#{self.channel_id} {source.site.name} -> "
+                   f"{','.join(d.site.name for d in destinations)}",
+                   bytes=size_bytes, call=message.is_call)
+        for destination in destinations:
+            dropped_before = destination.rx.dropped
+            yield from destination._deliver(message)
+            if destination.rx.dropped > dropped_before:
+                self.drops += destination.rx.dropped - dropped_before
+
+    # -- call convenience ------------------------------------------------------------------
+
+    def send_call(self, source: Endpoint, call: Call
+                  ) -> Generator[Event, None, Any]:
+        """Send a Call and (for two-way methods) await its return value.
+
+        Returns the *encoded* result; proxies decode it against the
+        interface spec.
+        """
+        yield from self._write_from(source, call, call.size_bytes)
+        if call.return_descriptor is None:
+            return None
+        encoded = yield call.return_descriptor.event
+        return encoded
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = self.config.kind.value
+        return (f"<Channel #{self.channel_id} {kind} "
+                f"provider={getattr(self.provider, 'name', '?')} "
+                f"endpoints={len(self.endpoints)}>")

@@ -1,0 +1,138 @@
+"""The Channel Executive.
+
+"The Channel Management unit manages the channels by interacting with
+the Channel Executive.  This module handles channel creation by using a
+particular Channel Provider ... The executive uses this capability
+information to decide on the best provider for a specific Offcode"
+(Section 4).
+
+Provider selection happens when the channel gains its second endpoint —
+only then are both locations known.  Multicast channels require every
+additional endpoint to be servable by the already-selected provider.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from repro.errors import ChannelError, ProviderError
+from repro.core.channel import Channel, ChannelConfig, ChannelKind, Endpoint
+from repro.core.offcode import Offcode
+from repro.core.providers import ChannelProvider
+from repro.core.sites import ExecutionSite
+
+__all__ = ["ChannelExecutive"]
+
+# Representative message size used to rank providers when the
+# application gives no hint (a media packet, the paper's workload unit).
+_DEFAULT_SIZE_HINT = 1024
+
+
+class ChannelExecutive:
+    """Provider registry + channel factory for one runtime."""
+
+    def __init__(self) -> None:
+        self._providers: List[ChannelProvider] = []
+        self._ids = itertools.count(1)
+        self.channels: List[Channel] = []
+
+    # -- providers -----------------------------------------------------------------
+
+    def register_provider(self, provider: ChannelProvider) -> None:
+        """Add a channel provider to the selection pool."""
+        if provider in self._providers:
+            raise ProviderError(f"provider {provider.name} already registered")
+        self._providers.append(provider)
+
+    @property
+    def providers(self) -> List[ChannelProvider]:
+        """Registered providers, in registration order (copy)."""
+        return list(self._providers)
+
+    def select_provider(self, src: ExecutionSite, dst: ExecutionSite,
+                        config: ChannelConfig,
+                        size_hint: int = _DEFAULT_SIZE_HINT
+                        ) -> ChannelProvider:
+        """Best provider for a (src, dst) pair by advertised cost."""
+        candidates = [p for p in self._providers
+                      if p.can_serve(src, dst, config)]
+        if not candidates:
+            raise ProviderError(
+                f"no channel provider can serve {src.name} -> {dst.name} "
+                f"({config.kind.value}, {config.buffering.value})")
+        return min(candidates,
+                   key=lambda p: p.cost(src, dst, config).score(size_hint))
+
+    # -- channels -------------------------------------------------------------------
+
+    def create_channel(self, config: ChannelConfig,
+                       creator_site: ExecutionSite) -> Channel:
+        """Step 1 of Figure 3: the creator's endpoint exists; no provider
+        is bound until the channel is connected somewhere."""
+        channel = Channel(config=config, provider=None,
+                          creator_site=creator_site,
+                          channel_id=next(self._ids))
+        self.channels.append(channel)
+        return channel
+
+    def create_channel_for_offcode(self, config: ChannelConfig,
+                                   offcode: Offcode) -> Channel:
+        """Create a channel whose *creator* endpoint belongs to an
+        Offcode (Offcodes open data channels toward their peers, e.g.
+        the TiVoPC Streamer's outbound multicast)."""
+        channel = self.create_channel(config, offcode.site)
+        channel.creator_endpoint.bound_offcode = offcode
+        offcode.on_channel_attached(channel)
+        return channel
+
+    def connect_site(self, channel: Channel, site: ExecutionSite
+                     ) -> Endpoint:
+        """Attach a raw site (used for OA-application endpoints)."""
+        endpoint = channel.add_endpoint(site)
+        self._bind_provider(channel, site)
+        return endpoint
+
+    def connect_offcode(self, channel: Channel, offcode: Offcode
+                        ) -> Endpoint:
+        """Step 2 of Figure 3 / ``ConnectOffcode``: build the endpoint at
+        the Offcode's device and notify the Offcode — synchronously for
+        wiring, and with a management event over its OOB channel
+        (Section 3.2's "availability of other channels")."""
+        endpoint = channel.add_endpoint(offcode.site)
+        endpoint.bound_offcode = offcode
+        self._bind_provider(channel, offcode.site)
+        offcode.on_channel_attached(channel)
+        self._send_oob_notice(channel, offcode)
+        return endpoint
+
+    def _send_oob_notice(self, channel: Channel, offcode: Offcode) -> None:
+        oob = offcode.oob_channel
+        if oob is None or oob is channel or not oob.connected:
+            return
+        notice = ("channel-attached", channel.channel_id,
+                  channel.config.label)
+        sim = offcode.site.sim
+
+        def deliver():
+            yield from oob.creator_endpoint.write(notice, 48)
+
+        sim.spawn(deliver(), name=f"oob-notice-{offcode.bindname}")
+
+    def _bind_provider(self, channel: Channel, new_site: ExecutionSite
+                       ) -> None:
+        creator = channel.creator_endpoint.site
+        if channel.provider is None:
+            channel.provider = self.select_provider(
+                creator, new_site, channel.config)
+            channel.provider.on_channel_created(channel)
+            return
+        # Additional endpoints (multicast): the bound provider must also
+        # serve the new leg.
+        if channel.config.kind is not ChannelKind.MULTICAST:
+            raise ChannelError("unicast channel connected twice")
+        if not channel.provider.can_serve(creator, new_site, channel.config):
+            raise ProviderError(
+                f"provider {channel.provider.name} cannot reach "
+                f"{new_site.name} for multicast channel "
+                f"#{channel.channel_id}")

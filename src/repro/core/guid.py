@@ -1,0 +1,71 @@
+"""Globally unique identifiers for Offcodes and interfaces.
+
+"Each interface is uniquely identified by a GUID ... An Offcode object
+file implements only one Offcode, and it has a GUID that is unique
+across all Offcodes" (Section 3.1).  The paper's sample ODF uses plain
+integers (e.g. ``7070714``); we accept integers and also derive stable
+GUIDs from dotted names so libraries of Offcodes can be authored without
+a central registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+from repro.errors import HydraError
+
+__all__ = ["Guid", "guid_from_name", "parse_guid"]
+
+
+class Guid:
+    """An immutable 64-bit identifier."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if not isinstance(value, int):
+            raise HydraError(f"GUID must be an int, got {type(value).__name__}")
+        if not 0 < value < (1 << 64):
+            raise HydraError(f"GUID out of range: {value}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("Guid is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Guid) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Guid", self.value))
+
+    def __repr__(self) -> str:
+        return f"Guid({self.value:#x})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+def guid_from_name(name: str) -> Guid:
+    """Derive a stable GUID from a dotted name (e.g. ``hydra.Heap``)."""
+    if not name:
+        raise HydraError("cannot derive a GUID from an empty name")
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    value = int.from_bytes(digest[:8], "big") or 1
+    return Guid(value)
+
+
+def parse_guid(text: Union[str, int, Guid]) -> Guid:
+    """Coerce ODF text (decimal or 0x-hex), an int, or a Guid to a Guid."""
+    if isinstance(text, Guid):
+        return text
+    if isinstance(text, int):
+        return Guid(text)
+    text = text.strip()
+    if not text:
+        raise HydraError("empty GUID text")
+    try:
+        value = int(text, 16) if text.lower().startswith("0x") else int(text)
+    except ValueError:
+        raise HydraError(f"malformed GUID {text!r}") from None
+    return Guid(value)

@@ -1,0 +1,200 @@
+"""ILP formulation of the offloading layout problem (Section 5.1).
+
+The decision variables are binary ``X[n][k]`` — "X^k_n = 1 if Offcode n
+should be offloaded to device k" — defined only where the compatibility
+vector allows (``C^k_n = 1``).  The equations:
+
+* **Eq. 1 (unique placement)** — every Offcode lands on exactly one
+  compatible device: for each n, sum_k X^k_n = 1.  (The paper prints a
+  double sum equal to 1; read per-Offcode, as the accompanying text
+  "each Offcode can be offloaded to a single device" requires.)
+* **Eq. 2 (Pull)** — for every Pull edge and every k: X^k_n = X^k_m.
+* **Eq. 3 (Gang)** — equal offload indicators (sums over k >= 1,
+  excluding the host: "an Offcode n is not offloaded ... if X^0_n = 1").
+* **Eq. 4 (asymmetric Gang)** — for an edge a -> b ("offloading b
+  doesn't imply offloading a"): offload(a) <= offload(b).
+
+The objective and any extra capacity rows come from
+:mod:`repro.core.layout.objectives`.  The produced
+:class:`IlpProblem` is solver-agnostic: "any ILP solver can then be used
+to solve the equations given a target optimization function".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InfeasibleLayoutError, LayoutError
+from repro.core.layout.constraints import ConstraintType
+from repro.core.layout.graph import HOST_INDEX, LayoutGraph
+
+__all__ = ["LinearConstraint", "IlpProblem", "build_ilp"]
+
+EQ = "=="
+LE = "<="
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum(coeffs[i] * x[i]) <sense> rhs`` over variable indices."""
+
+    coeffs: Tuple[Tuple[int, float], ...]
+    sense: str
+    rhs: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in (EQ, LE):
+            raise LayoutError(f"unknown constraint sense {self.sense!r}")
+
+    def evaluate(self, assignment: List[int]) -> float:
+        """Left-hand-side value under a 0/1 assignment vector."""
+        return sum(c * assignment[i] for i, c in self.coeffs)
+
+    def satisfied(self, assignment: List[int]) -> bool:
+        """Whether the row holds under a 0/1 assignment vector."""
+        value = self.evaluate(assignment)
+        return value == self.rhs if self.sense == EQ else value <= self.rhs
+
+
+@dataclass
+class IlpProblem:
+    """A 0-1 integer program with exactly-one variable groups.
+
+    ``groups[g]`` lists the variable indices of Offcode ``g``'s placement
+    choices (Eq. 1 is implied: exactly one per group).  ``constraints``
+    holds Eqs. 2-4 plus objective-supplied capacity rows.  ``objective``
+    maps variable index -> coefficient, to be **maximized**.
+    """
+
+    var_names: List[str]                       # "node@device" labels
+    groups: List[List[int]]                    # per-node variable indices
+    group_names: List[str]
+    constraints: List[LinearConstraint] = field(default_factory=list)
+    objective: Dict[int, float] = field(default_factory=dict)
+    var_meta: List[Tuple[str, int]] = field(default_factory=list)
+    devices: Tuple[str, ...] = ()
+
+    @property
+    def num_vars(self) -> int:
+        """Total number of binary variables."""
+        return len(self.var_names)
+
+    def assignment_to_placement(self, values: List[int]) -> Dict[str, int]:
+        """Convert a 0/1 vector to node-name -> device-index."""
+        placement: Dict[str, int] = {}
+        for index, value in enumerate(values):
+            if value:
+                name, device_index = self.var_meta[index]
+                if name in placement:
+                    raise LayoutError(
+                        f"solution places {name!r} twice")
+                placement[name] = device_index
+        missing = set(self.group_names) - set(placement)
+        if missing:
+            raise LayoutError(f"solution leaves {sorted(missing)} unplaced")
+        return placement
+
+    def objective_value(self, values: List[int]) -> float:
+        """Objective of a 0/1 assignment vector."""
+        return sum(coef * values[i] for i, coef in self.objective.items())
+
+
+def build_ilp(graph: LayoutGraph,
+              objective: Optional[Dict[Tuple[str, int], float]] = None,
+              capacity_rows: Optional[List[Tuple[Dict[Tuple[str, int], float],
+                                                 str, float, str]]] = None
+              ) -> IlpProblem:
+    """Translate a layout graph into an :class:`IlpProblem`.
+
+    ``objective`` maps (node name, device index) -> coefficient; missing
+    pairs contribute zero.  ``capacity_rows`` are objective-supplied
+    extra rows, each ``(coeffs keyed by (name, k), sense, rhs, label)`` —
+    the bus capability matrix of the Maximize-Bus-Usage objective arrives
+    this way.  Infeasibility that is detectable at build time (a Pull
+    edge with no shared compatible device) raises
+    :class:`InfeasibleLayoutError` immediately.
+    """
+    var_names: List[str] = []
+    var_meta: List[Tuple[str, int]] = []
+    groups: List[List[int]] = []
+    group_names: List[str] = []
+    index_of: Dict[Tuple[str, int], int] = {}
+
+    for name, node in graph.nodes.items():
+        group: List[int] = []
+        for k in node.compatible_indices():
+            index = len(var_names)
+            var_names.append(f"{name}@{graph.devices[k]}")
+            var_meta.append((name, k))
+            index_of[(name, k)] = index
+            group.append(index)
+        groups.append(group)
+        group_names.append(name)
+
+    constraints: List[LinearConstraint] = []
+
+    for c in graph.constraints:
+        src = graph.node(c.source)
+        dst = graph.node(c.target)
+        if c.kind is ConstraintType.PULL:
+            shared = set(src.compatible_indices()) & set(
+                dst.compatible_indices())
+            if not shared:
+                raise InfeasibleLayoutError(
+                    f"Pull({c.source},{c.target}): no shared compatible "
+                    "device")
+            # Eq. 2: X^k_src == X^k_dst for every device k.
+            for k in range(graph.num_devices):
+                coeffs = []
+                if (c.source, k) in index_of:
+                    coeffs.append((index_of[(c.source, k)], 1.0))
+                if (c.target, k) in index_of:
+                    coeffs.append((index_of[(c.target, k)], -1.0))
+                if coeffs:
+                    constraints.append(LinearConstraint(
+                        coeffs=tuple(coeffs), sense=EQ, rhs=0.0,
+                        label=f"pull[{c.source},{c.target}]@"
+                              f"{graph.devices[k]}"))
+        elif c.kind is ConstraintType.GANG:
+            # Eq. 3: offload sums equal (k >= 1).
+            coeffs = (
+                [(index_of[(c.source, k)], 1.0)
+                 for k in src.compatible_indices() if k != HOST_INDEX]
+                + [(index_of[(c.target, k)], -1.0)
+                   for k in dst.compatible_indices() if k != HOST_INDEX])
+            constraints.append(LinearConstraint(
+                coeffs=tuple(coeffs), sense=EQ, rhs=0.0,
+                label=f"gang[{c.source},{c.target}]"))
+        elif c.kind is ConstraintType.GANG_ASYM:
+            # Eq. 4 for edge a -> b: offload(a) <= offload(b).
+            coeffs = (
+                [(index_of[(c.source, k)], 1.0)
+                 for k in src.compatible_indices() if k != HOST_INDEX]
+                + [(index_of[(c.target, k)], -1.0)
+                   for k in dst.compatible_indices() if k != HOST_INDEX])
+            constraints.append(LinearConstraint(
+                coeffs=tuple(coeffs), sense=LE, rhs=0.0,
+                label=f"gangasym[{c.source}->{c.target}]"))
+        # LINK edges add no equations (Section 3.3: "poses no constraints").
+
+    for row_coeffs, sense, rhs, label in (capacity_rows or []):
+        coeffs = tuple((index_of[key], coefficient)
+                       for key, coefficient in row_coeffs.items()
+                       if key in index_of and coefficient)
+        if coeffs:
+            constraints.append(LinearConstraint(
+                coeffs=coeffs, sense=sense, rhs=rhs, label=label))
+
+    objective_map: Dict[int, float] = {}
+    if objective:
+        for (name, k), coefficient in objective.items():
+            index = index_of.get((name, k))
+            if index is not None and coefficient:
+                objective_map[index] = coefficient
+
+    return IlpProblem(var_names=var_names, groups=groups,
+                      group_names=group_names, constraints=constraints,
+                      objective=objective_map, var_meta=var_meta,
+                      devices=graph.devices)

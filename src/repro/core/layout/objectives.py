@@ -1,0 +1,153 @@
+"""Target optimization functions for the layout ILP (Section 5.1.3).
+
+The paper presents two and notes "the list is by no means complete;
+additional objective functions can be easily added":
+
+1. **Maximized Offloading** — "offload as many Offcodes as possible ...
+   to minimize the CPU usage and memory contention at the host":
+   maximize sum of X^k_n over k >= 1.
+2. **Maximize Bus Usage** — each Offcode carries a *price* (its expected
+   bus bandwidth demand); the objective maximizes the total price of
+   offloaded Offcodes subject to a per-link *capability matrix* that
+   caps how much bandwidth each device's bus attachment can carry.
+
+We add a third useful one, **MinimizeHostCpu**, weighting each Offcode
+by an estimated host CPU relief — an instance of the paper's "additional
+objective functions can be easily added".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import LayoutError
+from repro.core.layout.graph import HOST_INDEX, LayoutGraph
+from repro.core.layout.ilp import IlpProblem, LE, build_ilp
+
+__all__ = ["Objective", "MaximizeOffloading", "MaximizeBusUsage",
+           "MinimizeHostCpu", "BusCapabilityMatrix"]
+
+
+class Objective:
+    """An objective knows how to turn a graph into an IlpProblem."""
+
+    name: str = "abstract"
+
+    def build(self, graph: LayoutGraph) -> IlpProblem:
+        """Translate ``graph`` into an :class:`IlpProblem` for this objective."""
+        raise NotImplementedError
+
+
+class MaximizeOffloading(Objective):
+    """Objective 1: every offloaded Offcode is worth one point."""
+
+    name = "maximize-offloading"
+
+    def build(self, graph: LayoutGraph) -> IlpProblem:
+        """Coefficient 1 for every offloaded placement variable."""
+        objective: Dict[Tuple[str, int], float] = {}
+        for name, node in graph.nodes.items():
+            for k in node.compatible_indices():
+                if k != HOST_INDEX:
+                    objective[(name, k)] = 1.0
+        return build_ilp(graph, objective=objective)
+
+
+@dataclass
+class BusCapabilityMatrix:
+    """"The maximal bus bandwidth between every pair of peripheral
+    devices" (Section 5.1.3), in the same arbitrary units as node prices.
+
+    ``limits[(a, b)]`` caps traffic between endpoints a and b; a device's
+    *attachment budget* — the binding constraint for placement — is the
+    sum of its rows (everything it can exchange with all peers).
+    """
+
+    devices: Tuple[str, ...]
+    limits: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def set_limit(self, a: str, b: str, bandwidth: float) -> None:
+        """Cap the bandwidth between a device pair (symmetric)."""
+        if a not in self.devices or b not in self.devices:
+            raise LayoutError(f"unknown device in pair ({a!r}, {b!r})")
+        if bandwidth < 0:
+            raise LayoutError("bandwidth limit must be non-negative")
+        self.limits[(a, b)] = bandwidth
+        self.limits[(b, a)] = bandwidth
+
+    def attachment_budget(self, device: str) -> float:
+        """Sum of a device's pairwise limits (inf when unconstrained)."""
+        if device not in self.devices:
+            raise LayoutError(f"unknown device {device!r}")
+        total = sum(bw for (a, _b), bw in self.limits.items() if a == device)
+        return total if total > 0 else float("inf")
+
+    @staticmethod
+    def uniform(devices: Tuple[str, ...], bandwidth: float
+                ) -> "BusCapabilityMatrix":
+        """Every device pair capped at the same bandwidth."""
+        matrix = BusCapabilityMatrix(devices=devices)
+        peripherals = [d for d in devices if d != devices[HOST_INDEX]]
+        for i, a in enumerate(peripherals):
+            for b in peripherals[i + 1:]:
+                matrix.set_limit(a, b, bandwidth)
+        return matrix
+
+
+class MaximizeBusUsage(Objective):
+    """Objective 2: maximize offloaded bandwidth under bus capabilities."""
+
+    name = "maximize-bus-usage"
+
+    def __init__(self, capability: BusCapabilityMatrix) -> None:
+        self.capability = capability
+
+    def build(self, graph: LayoutGraph) -> IlpProblem:
+        """Price-weighted objective plus per-device capability rows."""
+        if tuple(self.capability.devices) != tuple(graph.devices):
+            raise LayoutError(
+                "capability matrix device list does not match the graph")
+        objective: Dict[Tuple[str, int], float] = {}
+        for name, node in graph.nodes.items():
+            for k in node.compatible_indices():
+                if k != HOST_INDEX:
+                    objective[(name, k)] = node.price
+        rows = []
+        for k, device in enumerate(graph.devices):
+            if k == HOST_INDEX:
+                continue
+            budget = self.capability.attachment_budget(device)
+            if budget == float("inf"):
+                continue
+            coeffs = {
+                (name, k): node.price
+                for name, node in graph.nodes.items()
+                if node.compat[k] and node.price
+            }
+            if coeffs:
+                rows.append((coeffs, LE, budget, f"buscap[{device}]"))
+        return build_ilp(graph, objective=objective, capacity_rows=rows)
+
+
+class MinimizeHostCpu(Objective):
+    """Extension objective: weight Offcodes by host-CPU relief."""
+
+    name = "minimize-host-cpu"
+
+    def __init__(self, cpu_relief: Mapping[str, float]) -> None:
+        """``cpu_relief[name]`` estimates the host CPU fraction freed by
+        offloading that Offcode (from profiling or the ODF author)."""
+        self.cpu_relief = dict(cpu_relief)
+
+    def build(self, graph: LayoutGraph) -> IlpProblem:
+        """CPU-relief-weighted offload objective."""
+        objective: Dict[Tuple[str, int], float] = {}
+        for name, node in graph.nodes.items():
+            relief = self.cpu_relief.get(name, 0.0)
+            if relief < 0:
+                raise LayoutError(f"{name}: negative CPU relief")
+            for k in node.compatible_indices():
+                if k != HOST_INDEX:
+                    objective[(name, k)] = relief
+        return build_ilp(graph, objective=objective)

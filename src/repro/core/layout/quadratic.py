@@ -1,0 +1,196 @@
+"""Traffic-aware placement: minimize bus crossings (Section 6.3, automated).
+
+The paper chooses the TiVoPC layout by hand-reasoning about bus
+crossings: "Since we do not want packets to traverse the bus twice, a
+Gang constraint is imposed"; "requiring a Gang constraint between the
+two Offcodes will minimize the number of bus crossing operations"; the
+Decoder goes to the GPU partly because decoded frames are ~20x larger
+than the stream, so the decode must happen *at* the display.
+
+This module automates that reasoning.  The cost of a placement is
+
+    sum over data-flow edges (m, n):  traffic(m, n) * crossings(m, n)
+
+where ``crossings`` depends on where both endpoints sit — zero when
+co-located, one bus transaction between host and a device or between
+peers on a peer-to-peer bus, two when a legacy bus stages
+device-to-device traffic through host memory.  The objective is
+*quadratic* in the placement variables (it prices pairs), so it does not
+fit the linear Section-5 formulation; :class:`MinimizeBusCrossings`
+ships with its own exact branch-and-bound over the layout graph,
+honouring the same Pull/Gang/GangAsym constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InfeasibleLayoutError, LayoutError, SolverError
+from repro.core.layout.constraints import ConstraintType
+from repro.core.layout.graph import HOST_INDEX, LayoutGraph
+from repro.core.layout.solver import SolveResult
+
+__all__ = ["TrafficMatrix", "crossing_cost", "MinimizeBusCrossings"]
+
+
+@dataclass
+class TrafficMatrix:
+    """Expected data-flow volume between Offcode pairs.
+
+    Units are arbitrary (relative traffic weights); direction matters
+    only for bookkeeping — a flow is priced by where its two endpoints
+    sit, whichever way the bytes move.
+    """
+
+    flows: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def set_flow(self, source: str, target: str, volume: float) -> None:
+        """Declare ``volume`` units of traffic between two Offcodes."""
+        if volume < 0:
+            raise LayoutError(f"negative traffic volume: {volume}")
+        if source == target:
+            raise LayoutError(f"flow from {source!r} to itself")
+        self.flows[(source, target)] = volume
+
+    def edges(self) -> List[Tuple[str, str, float]]:
+        """All declared flows as (source, target, volume) triples."""
+        return [(s, t, v) for (s, t), v in self.flows.items() if v > 0]
+
+
+def crossing_cost(src_device: int, dst_device: int,
+                  peer_to_peer: bool = True) -> int:
+    """Bus transactions one payload needs between two placements.
+
+    Index 0 is the host.  Co-located endpoints cost zero; host<->device
+    and device<->device on a peer-to-peer bus cost one; device<->device
+    on a legacy bus stages through host memory and costs two.
+    """
+    if src_device == dst_device:
+        return 0
+    if HOST_INDEX in (src_device, dst_device):
+        return 1
+    return 1 if peer_to_peer else 2
+
+
+class MinimizeBusCrossings:
+    """Exact traffic-weighted placement under layout constraints.
+
+    Not an :class:`~repro.core.layout.objectives.Objective` (the cost is
+    quadratic); call :meth:`solve` directly with the graph and a
+    :class:`TrafficMatrix`.  Ties are broken toward *more offloaded*
+    placements, matching the paper's secondary goal of relieving the
+    host.
+    """
+
+    name = "minimize-bus-crossings"
+
+    def __init__(self, traffic: TrafficMatrix, peer_to_peer: bool = True,
+                 max_nodes: int = 2_000_000) -> None:
+        self.traffic = traffic
+        self.peer_to_peer = peer_to_peer
+        self.max_nodes = max_nodes
+
+    def solve(self, graph: LayoutGraph) -> SolveResult:
+        """Minimum-crossing placement (InfeasibleLayoutError if none)."""
+        for source, target, _volume in self.traffic.edges():
+            for name in (source, target):
+                if name not in graph.nodes:
+                    raise LayoutError(
+                        f"traffic references unknown Offcode {name!r}")
+
+        names = list(graph.nodes)
+        index_of = {name: i for i, name in enumerate(names)}
+        options = [graph.nodes[name].compatible_indices()
+                   for name in names]
+        # Flows between nodes, by index, with volumes.
+        flows = [(index_of[s], index_of[t], v)
+                 for s, t, v in self.traffic.edges()]
+        # Constraints, by index.
+        constraints = [(index_of[c.source], index_of[c.target], c.kind)
+                       for c in graph.constraints
+                       if c.kind is not ConstraintType.LINK]
+        # Most-constrained-first ordering.
+        order = sorted(range(len(names)), key=lambda i: len(options[i]))
+
+        placement: List[Optional[int]] = [None] * len(names)
+        best: Dict[str, object] = {"cost": None, "offloaded": -1,
+                                   "placement": None}
+        explored = [0]
+        p2p = self.peer_to_peer
+
+        def partial_ok(i: int) -> bool:
+            for a, b, kind in constraints:
+                if i not in (a, b):
+                    continue
+                pa, pb = placement[a], placement[b]
+                if pa is None or pb is None:
+                    continue
+                if kind is ConstraintType.PULL and pa != pb:
+                    return False
+                if kind is ConstraintType.GANG and (
+                        (pa != HOST_INDEX) != (pb != HOST_INDEX)):
+                    return False
+                if kind is ConstraintType.GANG_ASYM and (
+                        pa != HOST_INDEX and pb == HOST_INDEX):
+                    return False
+            return True
+
+        def added_cost(i: int) -> float:
+            total = 0.0
+            for a, b, volume in flows:
+                if i not in (a, b):
+                    continue
+                other = b if i == a else a
+                po = placement[other]
+                if po is None:
+                    continue
+                total += volume * crossing_cost(placement[i], po, p2p)
+            return total
+
+        def dfs(position: int, cost: float, offloaded: int) -> None:
+            explored[0] += 1
+            if explored[0] > self.max_nodes:
+                raise SolverError(
+                    f"crossing minimizer exceeded {self.max_nodes} nodes")
+            if best["cost"] is not None and cost > best["cost"]:
+                return     # remaining edges can only add cost
+            if position == len(names):
+                better = (best["cost"] is None or cost < best["cost"]
+                          or (cost == best["cost"]
+                              and offloaded > best["offloaded"]))
+                if better:
+                    best["cost"] = cost
+                    best["offloaded"] = offloaded
+                    best["placement"] = list(placement)
+                return
+            i = order[position]
+            for device in options[i]:
+                placement[i] = device
+                if partial_ok(i):
+                    dfs(position + 1, cost + added_cost(i),
+                        offloaded + (device != HOST_INDEX))
+                placement[i] = None
+
+        dfs(0, 0.0, 0)
+        if best["placement"] is None:
+            raise InfeasibleLayoutError(
+                "no placement satisfies the layout constraints")
+        result_placement = {names[i]: device
+                            for i, device in enumerate(best["placement"])}
+        violations = graph.check_placement(result_placement)
+        if violations:
+            raise LayoutError(f"internal error: {violations}")
+        return SolveResult(placement=result_placement,
+                           objective=-float(best["cost"]),
+                           solver=self.name, optimal=True,
+                           nodes_explored=explored[0])
+
+    def cost_of(self, graph: LayoutGraph,
+                placement: Dict[str, int]) -> float:
+        """Traffic-weighted crossing cost of a given placement."""
+        total = 0.0
+        for source, target, volume in self.traffic.edges():
+            total += volume * crossing_cost(
+                placement[source], placement[target], self.peer_to_peer)
+        return total

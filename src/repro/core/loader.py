@@ -1,0 +1,215 @@
+"""Dynamic Offcode loading (Section 4.2).
+
+Two strategies, both of which the runtime supports:
+
+* **host-linked** — "fully perform the linking process at the host, and
+  only transfer the Offcode when it is ready to be deployed (at a
+  specific memory region)": the host loader calls the device's
+  ``AllocateOffcodeMemory``, "dynamically generates a linker file
+  adjusted by the returned address and links the Offcode object", then
+  DMAs the finished image across.  Cheap for the device.
+* **device-linked** — the "naive" scheme: ship the object file plus its
+  symbol table and let the device firmware resolve relocations.  Simple
+  for the host but "quite expensive in terms of device resources" — the
+  device CPU is an order of magnitude slower per symbol, and the
+  relocation metadata consumes device memory.
+
+Pseudo Offcodes exist partly to shrink the symbol count: user Offcodes
+import the runtime through a handful of pseudo-Offcode interfaces, so
+only those few symbols need resolving (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.errors import LoaderError
+from repro.core.odf import OdfDocument
+from repro.core.sites import DeviceSite, ExecutionSite, HostSite
+from repro.hw.bus import HOST_MEMORY
+from repro.hw.device import MemoryRegion, ProgrammableDevice
+from repro.sim.engine import Event
+
+__all__ = ["OffcodeImage", "LoadReport", "OffcodeLoader",
+           "HostLinkedLoader", "DeviceLinkedLoader", "LoaderRegistry"]
+
+# Linking cost constants (host CPU at a few GHz vs device at hundreds of MHz).
+_HOST_LINK_FIXED_NS = 40_000
+_HOST_LINK_PER_SYMBOL_NS = 900
+_HOST_COMPILE_PER_KB_NS = 350_000
+_DEVICE_LINK_FIXED_NS = 120_000
+_DEVICE_LINK_PER_SYMBOL_NS = 11_000
+_DEVICE_PLACE_NS = 25_000
+_SYMBOL_TABLE_BYTES_PER_SYMBOL = 48
+
+
+@dataclass
+class OffcodeImage:
+    """An Offcode binary ready to ship: size plus unresolved symbols."""
+
+    bindname: str
+    size_bytes: int
+    undefined_symbols: int
+    compiled: bool = False
+
+    @staticmethod
+    def from_odf(odf: OdfDocument,
+                 uses_pseudo_offcodes: bool = True) -> "OffcodeImage":
+        """Derive an image from a manifest.
+
+        With pseudo Offcodes the runtime surface collapses to one symbol
+        per imported interface plus the IOffcode entry points; without
+        them every runtime call is a distinct unresolved symbol.
+        """
+        if uses_pseudo_offcodes:
+            symbols = 4 + len(odf.imports) + len(odf.interfaces)
+        else:
+            symbols = 40 + 8 * (len(odf.imports) + len(odf.interfaces))
+        return OffcodeImage(bindname=odf.bindname,
+                            size_bytes=odf.image_bytes,
+                            undefined_symbols=symbols)
+
+
+@dataclass
+class LoadReport:
+    """What one load cost, and where the code landed."""
+
+    bindname: str
+    strategy: str
+    region: MemoryRegion
+    host_cpu_ns: int
+    device_cpu_ns: int
+    transferred_bytes: int
+    elapsed_ns: int
+
+
+class OffcodeLoader:
+    """The generic loader interface implemented per target device."""
+
+    strategy = "abstract"
+
+    def load(self, image: OffcodeImage, device: ProgrammableDevice,
+             host_site: ExecutionSite
+             ) -> Generator[Event, None, LoadReport]:
+        """Place ``image`` on ``device``; returns a :class:`LoadReport`."""
+        raise NotImplementedError
+
+    @staticmethod
+    def allocate_offcode_memory(device: ProgrammableDevice, size: int,
+                                label: str) -> MemoryRegion:
+        """The device-exported ``AllocateOffcodeMemory`` entry point."""
+        try:
+            return device.memory.allocate(size, label=label)
+        except Exception as exc:
+            raise LoaderError(
+                f"{device.name}: AllocateOffcodeMemory({size}) failed: "
+                f"{exc}") from exc
+
+
+class HostLinkedLoader(OffcodeLoader):
+    """Link at the host against the device-returned load address."""
+
+    strategy = "host-linked"
+
+    def load(self, image: OffcodeImage, device: ProgrammableDevice,
+             host_site: ExecutionSite
+             ) -> Generator[Event, None, LoadReport]:
+        """Allocate on the device, link at the host, DMA the finished image."""
+        sim = device.sim
+        start = sim.now
+        host_busy_before = _site_busy(host_site)
+        device_busy_before = device.cpu.total_busy
+
+        # Phase 1: size calculation + AllocateOffcodeMemory over the OOB
+        # channel (a small control round trip on the bus).
+        region = self.allocate_offcode_memory(device, image.size_bytes,
+                                              label=image.bindname)
+        yield from device.bus.transfer(HOST_MEMORY, device.name, 64)
+        # Phase 2: generate the linker file and link at the host.
+        link_ns = (_HOST_LINK_FIXED_NS
+                   + image.undefined_symbols * _HOST_LINK_PER_SYMBOL_NS)
+        yield from host_site.execute(link_ns, context="hydra-link")
+        # Phase 3: transfer the finished image and place/execute it.
+        yield from device.dma_from_host(image.size_bytes)
+        yield from device.run_on_device(_DEVICE_PLACE_NS, context="loader")
+
+        return LoadReport(
+            bindname=image.bindname, strategy=self.strategy, region=region,
+            host_cpu_ns=_site_busy(host_site) - host_busy_before,
+            device_cpu_ns=device.cpu.total_busy - device_busy_before,
+            transferred_bytes=image.size_bytes + 64,
+            elapsed_ns=sim.now - start)
+
+
+class DeviceLinkedLoader(OffcodeLoader):
+    """Ship object + symbol table; the device firmware links."""
+
+    strategy = "device-linked"
+
+    def load(self, image: OffcodeImage, device: ProgrammableDevice,
+             host_site: ExecutionSite
+             ) -> Generator[Event, None, LoadReport]:
+        """Ship object + symbol table; the device firmware links in place."""
+        sim = device.sim
+        start = sim.now
+        host_busy_before = _site_busy(host_site)
+        device_busy_before = device.cpu.total_busy
+
+        table_bytes = image.undefined_symbols * _SYMBOL_TABLE_BYTES_PER_SYMBOL
+        total = image.size_bytes + table_bytes
+        region = self.allocate_offcode_memory(device, total,
+                                              label=image.bindname)
+        yield from device.dma_from_host(total)
+        link_ns = (_DEVICE_LINK_FIXED_NS
+                   + image.undefined_symbols * _DEVICE_LINK_PER_SYMBOL_NS)
+        yield from device.run_on_device(link_ns, context="loader")
+        yield from device.run_on_device(_DEVICE_PLACE_NS, context="loader")
+
+        return LoadReport(
+            bindname=image.bindname, strategy=self.strategy, region=region,
+            host_cpu_ns=_site_busy(host_site) - host_busy_before,
+            device_cpu_ns=device.cpu.total_busy - device_busy_before,
+            transferred_bytes=total,
+            elapsed_ns=sim.now - start)
+
+
+def _site_busy(site: ExecutionSite) -> int:
+    if isinstance(site, HostSite):
+        return site.machine.cpu.total_busy
+    if isinstance(site, DeviceSite):
+        return site.device.cpu.total_busy
+    return 0
+
+
+def compile_for_target(odf: OdfDocument, host_site: ExecutionSite
+                       ) -> Generator[Event, None, OffcodeImage]:
+    """Adapt a *source-form* Offcode: run the target compiler at the host.
+
+    "adapting the specific Offcode instances to the target devices either
+    by executing a corresponding compiler (for open source Offcodes) or
+    by invoking the dynamic linkage process" (Section 3.4).
+    """
+    image = OffcodeImage.from_odf(odf)
+    if odf.form == "source":
+        kb = max(1, odf.image_bytes // 1024)
+        yield from host_site.execute(kb * _HOST_COMPILE_PER_KB_NS,
+                                     context="hydra-compile")
+        image.compiled = True
+    return image
+
+
+class LoaderRegistry:
+    """Device-name -> loader selection, with a configurable default."""
+
+    def __init__(self, default: Optional[OffcodeLoader] = None) -> None:
+        self.default = default or HostLinkedLoader()
+        self._by_device: Dict[str, OffcodeLoader] = {}
+
+    def register(self, device_name: str, loader: OffcodeLoader) -> None:
+        """Override the loader used for one device."""
+        self._by_device[device_name] = loader
+
+    def loader_for(self, device_name: str) -> OffcodeLoader:
+        """The loader for ``device_name`` (registered or default)."""
+        return self._by_device.get(device_name, self.default)

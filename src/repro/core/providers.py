@@ -1,0 +1,295 @@
+"""Channel providers — target-specific data paths with cost metrics.
+
+"These providers are target-specific and will be provided as an extended
+driver for each programmable device.  A channel provider is specialized
+in creating various channel types to the device and provides a cost
+metric regarding the 'price' for communicating with the device through a
+specific channel, in terms of latency and throughput.  The executive
+uses this capability information to decide on the best provider"
+(Section 4).
+
+Three provider families cover a host:
+
+* :class:`LoopbackProvider` — endpoints co-located (host<->host or both
+  on the same device): pointer handoff or memcpy.
+* :class:`DmaChannelProvider` — host <-> one specific device, the
+  Figure-6 architecture: descriptor rings, pinned buffers, bus-master
+  DMA, optional copy-mode bounce buffers, completion interrupts.
+* :class:`PeerDmaProvider` — device <-> device transfers that bypass
+  host memory entirely on peer-to-peer buses (single transaction for
+  hardware multicast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro import units
+from repro.errors import ProviderError
+from repro.core.channel import Buffering, Channel, ChannelConfig, Endpoint
+from repro.core.memory import MemoryManager
+from repro.core.rings import Descriptor, DescriptorRing
+from repro.core.sites import DeviceSite, ExecutionSite, HostSite
+from repro.hw.device import ProgrammableDevice
+from repro.hw.machine import Machine
+from repro.sim.engine import Event
+
+__all__ = ["CostMetric", "ChannelProvider", "LoopbackProvider",
+           "DmaChannelProvider", "PeerDmaProvider"]
+
+# Descriptor-handling firmware/driver costs.
+_DESCRIPTOR_HOST_NS = 500
+_DESCRIPTOR_DEVICE_NS = 900
+_POINTER_HANDOFF_NS = 300
+_LOCAL_COPY_NS_PER_BYTE = 0.9
+
+
+@dataclass(frozen=True)
+class CostMetric:
+    """The provider's advertised price for one message."""
+
+    latency_ns: int
+    throughput_bps: float
+    host_cpu_ns: int
+
+    def score(self, size_hint: int) -> float:
+        """Scalar rank used by the executive: end-to-end time for a
+        message of ``size_hint`` bytes, with host CPU time double-weighted
+        (host cycles are the resource offloading exists to protect)."""
+        transfer = size_hint * 8 * units.SECOND / self.throughput_bps
+        return self.latency_ns + transfer + 2 * self.host_cpu_ns
+
+
+class ChannelProvider:
+    """Interface all providers implement."""
+
+    name: str = "abstract"
+
+    def can_serve(self, src: ExecutionSite, dst: ExecutionSite,
+                  config: ChannelConfig) -> bool:
+        """Whether this provider reaches ``src`` -> ``dst`` under ``config``."""
+        raise NotImplementedError
+
+    def cost(self, src: ExecutionSite, dst: ExecutionSite,
+             config: ChannelConfig) -> CostMetric:
+        """Advertised per-message price (the executive ranks by this)."""
+        raise NotImplementedError
+
+    def transfer(self, channel: Channel, source: Endpoint,
+                 destinations: List[Endpoint], size_bytes: int
+                 ) -> Generator[Event, None, None]:
+        """Process generator: move one message, charging all costs."""
+        raise NotImplementedError
+
+    def on_channel_created(self, channel: Channel) -> None:
+        """Hook for per-channel resources (rings, shared memory)."""
+
+
+class LoopbackProvider(ChannelProvider):
+    """Same-location channels: host<->host or intra-device."""
+
+    name = "loopback"
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    def _local(self, site: ExecutionSite) -> bool:
+        if isinstance(site, HostSite):
+            return site.machine is self.machine
+        if isinstance(site, DeviceSite):
+            return site.device.bus is self.machine.bus
+        return False
+
+    def can_serve(self, src: ExecutionSite, dst: ExecutionSite,
+                  config: ChannelConfig) -> bool:
+        """Co-located endpoints on this machine only."""
+        return (src.name == dst.name
+                and self._local(src) and self._local(dst))
+
+    def cost(self, src: ExecutionSite, dst: ExecutionSite,
+             config: ChannelConfig) -> CostMetric:
+        """Pointer handoff (direct) or memcpy-rate (copy) pricing."""
+        if config.buffering is Buffering.DIRECT:
+            return CostMetric(latency_ns=_POINTER_HANDOFF_NS,
+                              throughput_bps=64e9, host_cpu_ns=300)
+        return CostMetric(latency_ns=2_000, throughput_bps=8e9,
+                          host_cpu_ns=2_000)
+
+    def transfer(self, channel: Channel, source: Endpoint,
+                 destinations: List[Endpoint], size_bytes: int
+                 ) -> Generator[Event, None, None]:
+        """Pointer handoff, or a local copy through the L2 in copy mode."""
+        site = source.site
+        if channel.config.buffering is Buffering.DIRECT:
+            yield from site.execute(_POINTER_HANDOFF_NS, context="channel")
+            return
+        cost = round(size_bytes * _LOCAL_COPY_NS_PER_BYTE) or 1
+        if isinstance(site, HostSite):
+            # A copying local channel streams through the L2 like memcpy.
+            self.machine.l2.access_range(0x3000_0000, size_bytes)
+            self.machine.l2.access_range(0x3400_0000, size_bytes, write=True)
+        yield from site.execute(cost, context="channel")
+
+
+class DmaChannelProvider(ChannelProvider):
+    """Host <-> device channels over descriptor rings (Figure 6)."""
+
+    def __init__(self, machine: Machine, device: ProgrammableDevice,
+                 memory: MemoryManager, kernel=None) -> None:
+        self.machine = machine
+        self.device = device
+        self.memory = memory
+        self.kernel = kernel
+        self.name = f"dma-{device.name}"
+        self._pin_cursor = 0x6000_0000
+
+    def can_serve(self, src: ExecutionSite, dst: ExecutionSite,
+                  config: ChannelConfig) -> bool:
+        """Exactly {host, this provider's device} on this machine."""
+        sites = {src.name, dst.name}
+        if sites != {"host", self.device.name}:
+            return False
+        host = src if isinstance(src, HostSite) else dst
+        return isinstance(host, HostSite) and host.machine is self.machine
+
+    def cost(self, src: ExecutionSite, dst: ExecutionSite,
+             config: ChannelConfig) -> CostMetric:
+        """Ring + DMA pricing; copy mode adds bounce-buffer CPU cost."""
+        bus = self.device.bus
+        base_latency = (bus.spec.arbitration_ns + _DESCRIPTOR_HOST_NS
+                        + _DESCRIPTOR_DEVICE_NS)
+        if config.buffering is Buffering.DIRECT:
+            return CostMetric(latency_ns=base_latency,
+                              throughput_bps=bus.spec.bandwidth_bps,
+                              host_cpu_ns=_DESCRIPTOR_HOST_NS)
+        return CostMetric(latency_ns=base_latency + 2_000,
+                          throughput_bps=bus.spec.bandwidth_bps,
+                          host_cpu_ns=5_000)
+
+    def on_channel_created(self, channel: Channel) -> None:
+        # The Figure-6 structures: an InRing of host call descriptors and
+        # an OutRing of pre-posted descriptors for spontaneous messages.
+        channel.in_ring = DescriptorRing(channel.config.ring_slots,
+                                         name=f"in-{channel.channel_id}")
+        channel.out_ring = DescriptorRing(channel.config.ring_slots,
+                                          name=f"out-{channel.channel_id}")
+
+    def transfer(self, channel: Channel, source: Endpoint,
+                 destinations: List[Endpoint], size_bytes: int
+                 ) -> Generator[Event, None, None]:
+        """The Figure-6 path: pin/copy, descriptor, DMA, completion."""
+        to_device = isinstance(source.site, HostSite)
+        size = max(1, size_bytes)
+        if to_device:
+            yield from self._host_to_device(channel, source, size)
+        else:
+            yield from self._device_to_host(channel, source, size)
+
+    def _host_to_device(self, channel: Channel, source: Endpoint,
+                        size: int) -> Generator[Event, None, None]:
+        host = source.site
+        if channel.config.buffering is Buffering.COPY:
+            if self.kernel is not None:
+                yield from self.kernel.copy_from_user(size, context="channel")
+            else:
+                yield from host.execute(
+                    round(size * _LOCAL_COPY_NS_PER_BYTE), context="channel")
+        else:
+            # Pin the user buffer (refcounted; hot buffers amortise).
+            region = yield from self.memory.pin(self._pin_cursor, size)
+            del region  # unpinned on channel close in a full teardown
+        yield from host.execute(_DESCRIPTOR_HOST_NS, context="channel")
+        ring: DescriptorRing = channel.in_ring
+        while not ring.post(Descriptor(address=self._pin_cursor, length=size)):
+            # Reliable semantics: wait for the device to drain a slot.
+            yield host.sim.timeout(2_000)
+        yield from self.device.dma_from_host(size)
+        ring.consume()
+        yield from self.device.run_on_device(_DESCRIPTOR_DEVICE_NS,
+                                             context="channel")
+
+    def _device_to_host(self, channel: Channel, source: Endpoint,
+                        size: int) -> Generator[Event, None, None]:
+        yield from self.device.run_on_device(_DESCRIPTOR_DEVICE_NS,
+                                             context="channel")
+        ring: DescriptorRing = channel.out_ring
+        while not ring.post(Descriptor(address=0, length=size)):
+            yield self.device.sim.timeout(2_000)
+        yield from self.device.dma_to_host(size)
+        ring.consume()
+        # "optionally notifies the application using an event (usually
+        # interrupt)" — high-priority channels interrupt, OOB ones poll.
+        if self.kernel is not None and channel.config.priority > 0:
+            yield from self.kernel.isr()
+        if channel.config.buffering is Buffering.COPY:
+            if self.kernel is not None:
+                yield from self.kernel.copy_to_user(size, context="channel")
+            else:
+                host = next((e.site for e in channel.endpoints
+                             if isinstance(e.site, HostSite)), None)
+                if host is not None:
+                    yield from host.execute(
+                        round(size * _LOCAL_COPY_NS_PER_BYTE),
+                        context="channel")
+
+
+class PeerDmaProvider(ChannelProvider):
+    """Device <-> device channels that bypass host memory."""
+
+    name = "peer-dma"
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    @staticmethod
+    def _device_of(site: ExecutionSite) -> Optional[ProgrammableDevice]:
+        return site.device if isinstance(site, DeviceSite) else None
+
+    def can_serve(self, src: ExecutionSite, dst: ExecutionSite,
+                  config: ChannelConfig) -> bool:
+        """Two distinct devices sharing one bus."""
+        sdev, ddev = self._device_of(src), self._device_of(dst)
+        return (sdev is not None and ddev is not None
+                and sdev.name != ddev.name and sdev.bus is ddev.bus)
+
+    def cost(self, src: ExecutionSite, dst: ExecutionSite,
+             config: ChannelConfig) -> CostMetric:
+        """Peer DMA pricing; doubles on non-peer-to-peer buses."""
+        bus = self.machine.bus
+        hops = 1 if bus.spec.peer_to_peer else 2
+        return CostMetric(
+            latency_ns=hops * bus.spec.arbitration_ns
+            + 2 * _DESCRIPTOR_DEVICE_NS,
+            throughput_bps=bus.spec.bandwidth_bps / hops,
+            host_cpu_ns=0)
+
+    def transfer(self, channel: Channel, source: Endpoint,
+                 destinations: List[Endpoint], size_bytes: int
+                 ) -> Generator[Event, None, None]:
+        """Device-to-device DMA; hardware multicast when available."""
+        src_dev = self._device_of(source.site)
+        if src_dev is None:
+            raise ProviderError("peer provider used from a host endpoint")
+        size = max(1, size_bytes)
+        yield from src_dev.run_on_device(_DESCRIPTOR_DEVICE_NS,
+                                         context="channel")
+        dst_names = []
+        for destination in destinations:
+            dst_dev = self._device_of(destination.site)
+            if dst_dev is None:
+                raise ProviderError("peer provider reached a host endpoint")
+            dst_names.append(dst_dev.name)
+        if len(dst_names) == 1:
+            yield from src_dev.dma_to_peer(dst_names[0], size)
+        elif src_dev.spec.has_feature("multicast-hw"):
+            # "a multicast channel can utilize hardware features, if
+            # available, to send a single request to multiple recipients"
+            yield from src_dev.bus.multicast_transfer(
+                src_dev.name, dst_names, size)
+        else:
+            for name in dst_names:
+                yield from src_dev.dma_to_peer(name, size)
+        for destination in destinations:
+            yield from destination.site.execute(_DESCRIPTOR_DEVICE_NS,
+                                                context="channel")

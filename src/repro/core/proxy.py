@@ -1,0 +1,90 @@
+"""Transparent Offcode invocation via proxies.
+
+"Achieving syntactic transparency for Offcode invocation requires the
+use of some 'proxy' element that has a similar interface as the target
+Offcode.  When a user creates an Offcode, a proxy object is loaded into
+user-space.  All interface methods return a Call object that contains
+the relevant method information including the serialized input
+parameters" (Section 3.1).
+
+Two styles are supported:
+
+* **transparent** — ``yield from proxy.Compute(data)``: attribute access
+  resolves against the interface spec, builds the Call, sends it over
+  the proxy's channel and decodes the reply;
+* **manual** — build the :class:`~repro.core.call.Call` yourself with
+  :func:`~repro.core.call.make_call` and push it through any channel
+  (``proxy.send_raw``), the paper's "custom encoder" scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import InterfaceError
+from repro.core import marshal
+from repro.core.call import Call, make_call
+from repro.core.channel import Channel, Endpoint
+from repro.core.interfaces import InterfaceSpec
+from repro.sim.engine import Event
+
+__all__ = ["Proxy"]
+
+# Marshaling cost on the caller's CPU: fixed header work + per-byte.
+_MARSHAL_FIXED_NS = 600
+_MARSHAL_NS_PER_BYTE = 0.25
+
+
+class _BoundMethod:
+    """A callable proxy method; calling it returns a generator."""
+
+    def __init__(self, proxy: "Proxy", method_name: str) -> None:
+        self._proxy = proxy
+        self._method_name = method_name
+
+    def __call__(self, *args: Any) -> Generator[Event, None, Any]:
+        return self._proxy.invoke(self._method_name, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<proxy method {self._proxy.interface.name}."
+                f"{self._method_name}>")
+
+
+class Proxy:
+    """User-space stand-in for a (possibly remote) Offcode interface."""
+
+    def __init__(self, interface: InterfaceSpec, channel: Channel,
+                 endpoint: Endpoint) -> None:
+        self.interface = interface
+        self.channel = channel
+        self.endpoint = endpoint
+        self.invocations = 0
+
+    def invoke(self, method_name: str, *args: Any
+               ) -> Generator[Event, None, Any]:
+        """Build, send and (for two-way methods) await one invocation."""
+        sim = self.endpoint.site.sim
+        call = make_call(sim, self.interface, method_name, args)
+        marshal_ns = _MARSHAL_FIXED_NS + round(
+            len(call.encoded_args) * _MARSHAL_NS_PER_BYTE)
+        yield from self.endpoint.site.execute(marshal_ns, context="proxy")
+        encoded = yield from self.channel.send_call(self.endpoint, call)
+        self.invocations += 1
+        if call.one_way:
+            return None
+        return marshal.decode(encoded)
+
+    def send_raw(self, call: Call) -> Generator[Event, None, Any]:
+        """Manual scheme: send a pre-built Call object."""
+        encoded = yield from self.channel.send_call(self.endpoint, call)
+        self.invocations += 1
+        return None if call.one_way else marshal.decode(encoded)
+
+    def __getattr__(self, name: str) -> _BoundMethod:
+        # Only interface methods resolve; anything else is a real miss.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if self.interface.has_method(name):
+            return _BoundMethod(self, name)
+        raise InterfaceError(
+            f"interface {self.interface.name!r} has no method {name!r}")

@@ -1,0 +1,127 @@
+"""Pseudo Offcodes — runtime services with Offcode faces.
+
+"We distinguish between pseudo Offcodes and user Offcodes.  Pseudo
+Offcodes are runtime components that happen to be implemented as
+Offcodes ... having the Offcodes communicate with the run-time through
+pseudo Offcodes is an easy way of limiting the number of symbols that
+need to be resolved" (Section 4).  The paper names two examples, both
+implemented here, plus the channel executive that Figure 3's code
+obtains through ``GetOffcode``:
+
+* ``hydra.Runtime`` — :class:`RuntimeOffcode`: lets any Offcode look up
+  peers registered at the runtime by bind name.
+* ``hydra.Heap`` — :class:`HeapOffcode`: "provides an interface to the
+  OS memory routines" (site-local allocation).
+* ``hydra.ChannelExecutive`` — :class:`ChannelExecutiveOffcode`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.errors import HydraError
+from repro.core.interfaces import InterfaceSpec, MethodSpec
+from repro.core.offcode import Offcode
+from repro.core.sites import ExecutionSite
+from repro.hw.device import MemoryRegion
+from repro.sim.engine import Event
+
+__all__ = ["RuntimeOffcode", "HeapOffcode", "ChannelExecutiveOffcode",
+           "IRUNTIME", "IHEAP", "ICHANNEL_EXECUTIVE"]
+
+
+IRUNTIME = InterfaceSpec.from_methods(
+    "hydra.IRuntime",
+    (
+        MethodSpec("GetOffcodeLocation", params=(("bindname", "string"),),
+                   result="string"),
+        MethodSpec("ListOffcodes", params=(), result="any"),
+    ),
+)
+
+IHEAP = InterfaceSpec.from_methods(
+    "hydra.IHeap",
+    (
+        MethodSpec("Alloc", params=(("size", "int"),), result="int"),
+        MethodSpec("Free", params=(("address", "int"),), result="bool"),
+        MethodSpec("UsedBytes", params=(), result="int"),
+    ),
+)
+
+ICHANNEL_EXECUTIVE = InterfaceSpec.from_methods(
+    "hydra.IChannelExecutive",
+    (
+        MethodSpec("ProviderCount", params=(), result="int"),
+        MethodSpec("ChannelCount", params=(), result="int"),
+    ),
+)
+
+
+class RuntimeOffcode(Offcode):
+    """``hydra.Runtime``: peer discovery for Offcodes."""
+
+    BINDNAME = "hydra.Runtime"
+    INTERFACES = (IRUNTIME,)
+
+    def __init__(self, site: ExecutionSite, registry) -> None:
+        """``registry`` is the owning :class:`HydraRuntime` (duck-typed:
+        needs ``locate(bindname)`` and ``registered_bindnames()``)."""
+        super().__init__(site)
+        self._registry = registry
+
+    def GetOffcodeLocation(self, bindname: str) -> str:
+        offcode = self._registry.locate(bindname)
+        if offcode is None:
+            raise HydraError(f"no offcode registered as {bindname!r}")
+        return offcode.location
+
+    def ListOffcodes(self):
+        return sorted(self._registry.registered_bindnames())
+
+
+class HeapOffcode(Offcode):
+    """``hydra.Heap``: site-local memory services."""
+
+    BINDNAME = "hydra.Heap"
+    INTERFACES = (IHEAP,)
+    ALLOC_COST_NS = 800
+
+    def __init__(self, site: ExecutionSite) -> None:
+        super().__init__(site)
+        self._regions: Dict[int, MemoryRegion] = {}
+
+    def Alloc(self, size: int) -> Generator[Event, None, int]:
+        yield from self.site.execute(self.ALLOC_COST_NS,
+                                     context="hydra-heap")
+        region = self.site.allocate(size, label="heap-alloc")
+        self._regions[region.base] = region
+        return region.base
+
+    def Free(self, address: int) -> Generator[Event, None, bool]:
+        yield from self.site.execute(self.ALLOC_COST_NS // 2,
+                                     context="hydra-heap")
+        region = self._regions.pop(address, None)
+        if region is None:
+            return False
+        self.site.free(region)
+        return True
+
+    def UsedBytes(self) -> int:
+        return sum(r.size for r in self._regions.values())
+
+
+class ChannelExecutiveOffcode(Offcode):
+    """``hydra.ChannelExecutive``: introspection over the executive."""
+
+    BINDNAME = "hydra.ChannelExecutive"
+    INTERFACES = (ICHANNEL_EXECUTIVE,)
+
+    def __init__(self, site: ExecutionSite, executive) -> None:
+        super().__init__(site)
+        self._executive = executive
+
+    def ProviderCount(self) -> int:
+        return len(self._executive.providers)
+
+    def ChannelCount(self) -> int:
+        return len(self._executive.channels)

@@ -1,0 +1,115 @@
+"""Hierarchical resource management.
+
+"The Resource Management unit keeps track of all active Offcodes and
+related resources.  Resources are managed hierarchically to allow for
+robust clean-up of child resources in the case of a failing parent
+object" (Section 4).
+
+A :class:`ResourceNode` owns children and an optional finalizer; freeing
+(or failing) a node frees its whole subtree, children first, exactly
+once.  Finalizer failures are collected, not raised mid-teardown, so one
+bad destructor cannot leak its siblings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ResourceError
+
+__all__ = ["ResourceNode", "ResourceTree"]
+
+
+class ResourceNode:
+    """One tracked resource with optional cleanup and children."""
+
+    def __init__(self, name: str, kind: str = "generic",
+                 finalizer: Optional[Callable[[], None]] = None,
+                 payload: object = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.finalizer = finalizer
+        self.payload = payload
+        self.parent: Optional["ResourceNode"] = None
+        self.children: List["ResourceNode"] = []
+        self.freed = False
+
+    def add_child(self, child: "ResourceNode") -> "ResourceNode":
+        """Attach ``child`` beneath this node (freed before this node)."""
+        if child.parent is not None:
+            raise ResourceError(
+                f"resource {child.name!r} already has a parent")
+        if self.freed:
+            raise ResourceError(
+                f"cannot attach to freed resource {self.name!r}")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def subtree_size(self) -> int:
+        """Number of live nodes in this subtree (including self)."""
+        if self.freed:
+            return 0
+        return 1 + sum(c.subtree_size() for c in self.children)
+
+    def free(self) -> List[Exception]:
+        """Free the subtree, children first.  Returns finalizer errors."""
+        if self.freed:
+            raise ResourceError(f"double free of resource {self.name!r}")
+        errors: List[Exception] = []
+        for child in reversed(self.children):
+            if not child.freed:
+                errors.extend(child.free())
+        self.freed = True
+        if self.parent is not None:
+            try:
+                self.parent.children.remove(self)
+            except ValueError:
+                pass
+        if self.finalizer is not None:
+            try:
+                self.finalizer()
+            except Exception as exc:  # collected, not raised mid-teardown
+                errors.append(exc)
+        return errors
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "freed" if self.freed else f"{len(self.children)} children"
+        return f"<ResourceNode {self.kind}:{self.name} {state}>"
+
+
+class ResourceTree:
+    """The runtime's root of all tracked resources, with name lookup."""
+
+    def __init__(self, name: str = "hydra") -> None:
+        self.root = ResourceNode(name, kind="root")
+        self._index: Dict[str, ResourceNode] = {}
+
+    def track(self, name: str, kind: str = "generic",
+              parent: Optional[ResourceNode] = None,
+              finalizer: Optional[Callable[[], None]] = None,
+              payload: object = None) -> ResourceNode:
+        """Create and attach a node under ``parent`` (default: root)."""
+        if name in self._index and not self._index[name].freed:
+            raise ResourceError(f"resource name {name!r} already tracked")
+        node = ResourceNode(name, kind=kind, finalizer=finalizer,
+                            payload=payload)
+        (parent or self.root).add_child(node)
+        self._index[name] = node
+        return node
+
+    def lookup(self, name: str) -> ResourceNode:
+        """Live node by name (ResourceError if absent or freed)."""
+        node = self._index.get(name)
+        if node is None or node.freed:
+            raise ResourceError(f"no live resource named {name!r}")
+        return node
+
+    def release(self, name: str) -> List[Exception]:
+        """Free one named subtree."""
+        return self.lookup(name).free()
+
+    @property
+    def live_count(self) -> int:
+        """Number of live tracked resources (excluding the root)."""
+        return self.root.subtree_size() - 1   # exclude the root itself

@@ -1,0 +1,97 @@
+"""Descriptor rings for zero-copy channels.
+
+Figure 6's zero-copy NIC channel is built from "two kernel buffer rings"
+— the *InRing* holds descriptors pointing at host memory containing Call
+objects; the *OutRing* holds pre-posted application descriptors for
+spontaneous device-to-host messages.  The device keeps "a shadowed copy
+of the ring descriptors" and channel management lives in a shared memory
+region.
+
+:class:`DescriptorRing` models the data structure: a fixed-size circular
+buffer of descriptors with producer/consumer cursors and explicit
+full/empty behaviour, because reliable channels must block (not drop)
+"even though buffer descriptors are not available" (Section 3.2) while
+unreliable ones drop and count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.errors import ChannelError
+
+__all__ = ["Descriptor", "DescriptorRing"]
+
+
+@dataclass
+class Descriptor:
+    """One ring entry: an address/length pair plus a payload reference."""
+
+    address: int
+    length: int
+    payload: Any = None
+
+
+class DescriptorRing:
+    """Fixed-capacity circular descriptor buffer.
+
+    Pure data structure — timing is charged by the channel provider that
+    owns it.  ``post`` produces, ``consume`` consumes; both maintain the
+    invariant ``0 <= occupancy <= capacity``.
+    """
+
+    def __init__(self, capacity: int, name: str = "ring") -> None:
+        if capacity <= 0:
+            raise ChannelError(f"ring capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._slots: List[Optional[Descriptor]] = [None] * capacity
+        self._head = 0      # next slot to consume
+        self._tail = 0      # next slot to fill
+        self._count = 0
+        self.posted = 0
+        self.consumed = 0
+        self.rejected = 0   # posts refused because the ring was full
+
+    @property
+    def occupancy(self) -> int:
+        """Descriptors currently in the ring."""
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        """True when no slot is free."""
+        return self._count == self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when no descriptor is pending."""
+        return self._count == 0
+
+    def post(self, descriptor: Descriptor) -> bool:
+        """Add a descriptor; returns False (and counts) if full."""
+        if self.full:
+            self.rejected += 1
+            return False
+        self._slots[self._tail] = descriptor
+        self._tail = (self._tail + 1) % self.capacity
+        self._count += 1
+        self.posted += 1
+        return True
+
+    def consume(self) -> Descriptor:
+        """Remove the oldest descriptor; raises when empty."""
+        if self.empty:
+            raise ChannelError(f"ring {self.name!r} consumed while empty")
+        descriptor = self._slots[self._head]
+        self._slots[self._head] = None
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        self.consumed += 1
+        assert descriptor is not None
+        return descriptor
+
+    def peek(self) -> Optional[Descriptor]:
+        """The oldest descriptor without consuming it (None if empty)."""
+        return self._slots[self._head] if not self.empty else None

@@ -1,0 +1,279 @@
+"""The HYDRA runtime facade — the Offloading Access Layer.
+
+One :class:`HydraRuntime` exists per host (the paper's user-level +
+kernel-level OAL pair collapsed into one object; the split is an
+OS-packaging detail, not a behavioural one).  It owns:
+
+* the host :class:`~repro.core.sites.HostSite` and one
+  :class:`~repro.core.devruntime.DeviceRuntime` per programmable device,
+* the :class:`~repro.core.executive.ChannelExecutive` with a loopback
+  provider, one DMA provider per device and a peer-DMA provider,
+* the :class:`~repro.core.memory.MemoryManager`, the
+  :class:`~repro.core.resources.ResourceTree`, the
+  :class:`~repro.core.odf.OdfLibrary`, the
+  :class:`~repro.core.depot.OffcodeDepot`, the loader registry and the
+  layout resolver,
+* the pseudo Offcodes (``hydra.Runtime``, ``hydra.Heap``,
+  ``hydra.ChannelExecutive`` on the host; a ``hydra.Heap`` per device).
+
+The programming-model entry points mirror the paper's API: a process
+calls ``CreateOffcode`` (:meth:`create_offcode`) with an ODF path and
+receives a proxy; ``GetOffcode`` (:meth:`get_offcode`) returns any
+registered Offcode by bind name; ``CreateChannel`` goes through the
+executive exactly as in Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Iterable, Optional
+
+from repro.errors import HydraError, OffcodeError
+from repro.core.channel import Channel, ChannelConfig
+from repro.core.deployment import DeploymentPipeline, DeploymentReport
+from repro.core.depot import OffcodeDepot
+from repro.core.devruntime import DeviceRuntime
+from repro.core.executive import ChannelExecutive
+from repro.core.layout.objectives import Objective
+from repro.core.layout.resolver import OffloadLayoutResolver
+from repro.core.loader import LoaderRegistry
+from repro.core.memory import MemoryManager
+from repro.core.odf import OdfDocument, OdfLibrary
+from repro.core.offcode import Offcode, OffcodeState
+from repro.core.providers import (
+    DmaChannelProvider,
+    LoopbackProvider,
+    PeerDmaProvider,
+)
+from repro.core.proxy import Proxy
+from repro.core.pseudo import (
+    ChannelExecutiveOffcode,
+    HeapOffcode,
+    RuntimeOffcode,
+)
+from repro.core.resources import ResourceTree
+from repro.core.sites import ExecutionSite, HostSite
+from repro.hw.machine import Machine
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["HydraRuntime", "CreateOffcodeResult"]
+
+
+@dataclass
+class CreateOffcodeResult:
+    """What ``CreateOffcode`` hands back to the OA-application."""
+
+    proxy: Proxy
+    offcode: Offcode
+    channel: Channel
+    report: DeploymentReport
+
+    @property
+    def location(self) -> str:
+        """Where the root Offcode landed (device name or 'host')."""
+        return self.offcode.location
+
+
+class HydraRuntime:
+    """The per-host runtime instance."""
+
+    def __init__(self, machine: Machine, kernel=None,
+                 library: Optional[OdfLibrary] = None,
+                 depot: Optional[OffcodeDepot] = None,
+                 solver=None) -> None:
+        self.machine = machine
+        self.sim: Simulator = machine.sim
+        self.kernel = kernel
+        self.host_site = HostSite(machine)
+        self.library = library or OdfLibrary()
+        self.depot = depot or OffcodeDepot()
+        self.memory = MemoryManager(machine)
+        self.resources = ResourceTree(f"hydra@{machine.name}")
+        self.loaders = LoaderRegistry()
+        self.executive = ChannelExecutive()
+        self.pipeline = DeploymentPipeline(self)
+        self.resolver = OffloadLayoutResolver(machine, self.depot,
+                                              solver=solver)
+        self._registry: Dict[str, Offcode] = {}
+        self._documents: Dict[str, OdfDocument] = {}
+
+        # One device runtime per programmable device, each with its own
+        # DMA channel provider ("an extended driver for each device").
+        self.device_runtimes: Dict[str, DeviceRuntime] = {}
+        self.executive.register_provider(LoopbackProvider(machine))
+        self.executive.register_provider(PeerDmaProvider(machine))
+        for name, device in machine.devices.items():
+            runtime = DeviceRuntime(device)
+            self.device_runtimes[name] = runtime
+            self.executive.register_provider(DmaChannelProvider(
+                machine, device, self.memory, kernel=kernel))
+
+        self._bootstrap_pseudo_offcodes()
+
+    # -- bootstrap --------------------------------------------------------------------
+
+    def _bootstrap_pseudo_offcodes(self) -> None:
+        """Pseudo Offcodes exist before simulated time begins; their
+        bring-up is part of OS boot, not of any measured deployment, so
+        they enter RUNNING directly."""
+        host_pseudos = (
+            RuntimeOffcode(self.host_site, self),
+            HeapOffcode(self.host_site),
+            ChannelExecutiveOffcode(self.host_site, self.executive),
+        )
+        for pseudo in host_pseudos:
+            pseudo.state = OffcodeState.RUNNING
+            self._registry[pseudo.bindname] = pseudo
+        for runtime in self.device_runtimes.values():
+            heap = HeapOffcode(runtime.site)
+            heap.state = OffcodeState.RUNNING
+            runtime.offcodes[heap.bindname] = heap
+
+    # -- registry -----------------------------------------------------------------------
+
+    def register_offcode(self, offcode: Offcode,
+                         document: OdfDocument) -> None:
+        """Enter a deployed Offcode into the registry + resource tree."""
+        if offcode.bindname in self._registry:
+            raise OffcodeError(
+                f"offcode {offcode.bindname!r} already registered")
+        self._registry[offcode.bindname] = offcode
+        self._documents[offcode.bindname] = document
+        self.resources.track(offcode.bindname, kind="offcode",
+                             payload=offcode)
+
+    def locate(self, bindname: str) -> Optional[Offcode]:
+        """Find a registered Offcode (host registry, then devices)."""
+        offcode = self._registry.get(bindname)
+        if offcode is not None:
+            return offcode
+        for runtime in self.device_runtimes.values():
+            found = runtime.find(bindname)
+            if found is not None and found.bindname != "hydra.Heap":
+                return found
+        return None
+
+    def registered_bindnames(self) -> Iterable[str]:
+        """Bind names registered on the host side."""
+        return self._registry.keys()
+
+    def get_offcode(self, bindname: str) -> Offcode:
+        """The ``GetOffcode`` API: pseudo and user Offcodes by name."""
+        offcode = self.locate(bindname)
+        if offcode is None:
+            raise HydraError(f"no offcode registered as {bindname!r}")
+        return offcode
+
+    def device_runtime(self, name: str) -> DeviceRuntime:
+        """The firmware runtime of one device (HydraError if absent)."""
+        try:
+            return self.device_runtimes[name]
+        except KeyError:
+            raise HydraError(
+                f"no device runtime for {name!r}; "
+                f"have {sorted(self.device_runtimes)}") from None
+
+    def site_of(self, location: str) -> ExecutionSite:
+        """Execution site for 'host' or a device name."""
+        if location == "host":
+            return self.host_site
+        return self.device_runtime(location).site
+
+    # -- programming model entry points ----------------------------------------------------
+
+    def create_offcode(self, odf_path: str,
+                       interface: Optional[str] = None,
+                       objective: Optional[Objective] = None
+                       ) -> Generator[Event, None, CreateOffcodeResult]:
+        """``CreateOffcode``: deploy the ODF closure, connect a channel
+        to the root Offcode and return a user-space proxy for it.
+
+        ``interface`` names the interface the proxy should expose
+        (default: the root Offcode's first declared interface) — the
+        ``IID`` argument of the paper's API.
+        """
+        report = yield from self.pipeline.deploy(odf_path,
+                                                 objective=objective)
+        offcode = report.root_offcode
+        document = self.library.load(odf_path)
+        if interface is None:
+            if not document.interfaces:
+                raise HydraError(
+                    f"{document.bindname} declares no interfaces; "
+                    "pass one explicitly")
+            spec = document.interfaces[0]
+        else:
+            spec = document.interface(interface)
+        channel = self.executive.create_channel(
+            ChannelConfig().with_target(offcode.location), self.host_site)
+        self.executive.connect_offcode(channel, offcode)
+        # The proxy channel belongs to the Offcode's resource subtree.
+        try:
+            node = self.resources.lookup(offcode.bindname)
+            self.resources.track(
+                f"{offcode.bindname}/proxy-{channel.channel_id}",
+                kind="channel", parent=node, finalizer=channel.close)
+        except HydraError:
+            pass   # pseudo/reused offcodes may not be tracked
+        proxy = Proxy(spec, channel, channel.creator_endpoint)
+        return CreateOffcodeResult(proxy=proxy, offcode=offcode,
+                                   channel=channel, report=report)
+
+    def deploy_joint(self, odf_paths: list,
+                     objective: Optional[Objective] = None
+                     ) -> Generator[Event, None, DeploymentReport]:
+        """Deploy several applications under one joint layout solve
+        (Section 5's multi-application scenario); returns the combined
+        report.  Use :meth:`get_offcode` to reach each root afterwards."""
+        return (yield from self.pipeline.deploy_many(odf_paths,
+                                                     objective=objective))
+
+    def create_channel(self, config: ChannelConfig) -> Channel:
+        """``CreateChannel`` (Figure 3, step 1): creator endpoint on the
+        host; connect it with :meth:`connect_offcode`."""
+        return self.executive.create_channel(config, self.host_site)
+
+    def connect_offcode(self, channel: Channel, offcode: Offcode):
+        """``ConnectOffcode`` (Figure 3, step 2)."""
+        return self.executive.connect_offcode(channel, offcode)
+
+    def stop_offcode(self, bindname: str
+                     ) -> Generator[Event, None, None]:
+        """Stop one Offcode and release its resource subtree."""
+        offcode = self.get_offcode(bindname)
+        yield from offcode.stop()
+        if bindname in self._registry:
+            del self._registry[bindname]
+            self._documents.pop(bindname, None)
+            self.resources.release(bindname)
+        for runtime in self.device_runtimes.values():
+            if runtime.find(bindname) is not None:
+                runtime.evict_offcode(bindname)
+
+    def fail_offcode(self, bindname: str) -> list:
+        """Crash handling: kill the Offcode and release its subtree.
+
+        "Resources are managed hierarchically to allow for robust
+        clean-up of child resources in the case of a failing parent
+        object" (Section 4).  Returns any finalizer errors collected
+        during teardown (never raised mid-cleanup).
+        """
+        offcode = self.get_offcode(bindname)
+        offcode.kill()
+        errors: list = []
+        if bindname in self._registry:
+            del self._registry[bindname]
+            self._documents.pop(bindname, None)
+            errors = self.resources.release(bindname)
+        for runtime in self.device_runtimes.values():
+            if runtime.find(bindname) is not None:
+                runtime.evict_offcode(bindname)
+        return errors
+
+    def document_of(self, bindname: str) -> OdfDocument:
+        """The ODF a deployed Offcode came from."""
+        try:
+            return self._documents[bindname]
+        except KeyError:
+            raise HydraError(
+                f"no deployed document for {bindname!r}") from None

@@ -1,0 +1,113 @@
+"""Execution sites — where an Offcode's thread of control runs.
+
+The framework's "holy grail is for the programmer to be completely
+unaware of the fact that parts of the system she is writing will be
+running on a programmable device" (Section 2).  The mechanism here is
+the :class:`ExecutionSite`: Offcode code charges CPU time and allocates
+memory through its site, so the *same* Offcode class runs unchanged on
+the host (:class:`HostSite`) or on any device (:class:`DeviceSite`) —
+only costs and visibility differ.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import HydraError
+from repro.hw.device import MemoryRegion, ProgrammableDevice
+from repro.hw.machine import Machine
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["ExecutionSite", "HostSite", "DeviceSite", "HOST_SITE_NAME"]
+
+HOST_SITE_NAME = "host"
+
+
+class ExecutionSite:
+    """Abstract location providing compute and memory to Offcodes."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+
+    @property
+    def is_host(self) -> bool:
+        """True for the host CPU site."""
+        raise NotImplementedError
+
+    def execute(self, duration_ns: int, context: str
+                ) -> Generator[Event, None, None]:
+        """Charge ``duration_ns`` of work to this site's processor."""
+        raise NotImplementedError
+
+    def allocate(self, size: int, label: str = "") -> MemoryRegion:
+        """Allocate site-local memory."""
+        raise NotImplementedError
+
+    def free(self, region: MemoryRegion) -> None:
+        """Release a region obtained from :meth:`allocate`."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class HostSite(ExecutionSite):
+    """The host CPU as an execution site (``X^0_n = 1`` in the ILP)."""
+
+    # Host "allocations" are bookkept but unbounded (512 MB vs kB-scale
+    # Offcodes; host memory pressure is modelled via the cache, not here).
+
+    def __init__(self, machine: Machine) -> None:
+        super().__init__(machine.sim, HOST_SITE_NAME)
+        self.machine = machine
+        self._alloc_cursor = 0x2000_0000
+        self.allocated_bytes = 0
+
+    @property
+    def is_host(self) -> bool:
+        """Always True."""
+        return True
+
+    def execute(self, duration_ns: int, context: str
+                ) -> Generator[Event, None, None]:
+        yield from self.machine.cpu.execute(duration_ns, context=context)
+
+    def allocate(self, size: int, label: str = "") -> MemoryRegion:
+        if size <= 0:
+            raise HydraError(f"allocation size must be positive: {size}")
+        region = MemoryRegion(base=self._alloc_cursor, size=size, label=label)
+        self._alloc_cursor += (size + 15) & ~15
+        self.allocated_bytes += region.size
+        return region
+
+    def free(self, region: MemoryRegion) -> None:
+        """Release a host region (double frees raise)."""
+        if region.freed:
+            raise HydraError(f"double free of host region {region.label!r}")
+        region.freed = True
+        self.allocated_bytes -= region.size
+
+
+class DeviceSite(ExecutionSite):
+    """A programmable device as an execution site."""
+
+    def __init__(self, device: ProgrammableDevice) -> None:
+        super().__init__(device.sim, device.name)
+        self.device = device
+
+    @property
+    def is_host(self) -> bool:
+        """Always False."""
+        return False
+
+    def execute(self, duration_ns: int, context: str
+                ) -> Generator[Event, None, None]:
+        yield from self.device.run_on_device(duration_ns, context=context)
+
+    def allocate(self, size: int, label: str = "") -> MemoryRegion:
+        return self.device.memory.allocate(size, label=label)
+
+    def free(self, region: MemoryRegion) -> None:
+        """Return a region to the device allocator."""
+        self.device.memory.free(region)

@@ -1,0 +1,92 @@
+"""Minimal WSDL reader/writer for interface specifications.
+
+The ODF "describes the supported interfaces ... using the standard WSDL
+specification language" (Section 3.1).  We support the subset needed to
+round-trip :class:`~repro.core.interfaces.InterfaceSpec`: one
+``portType`` per interface, one ``operation`` per method, with message
+parts typed by a small xsd subset.
+
+Example document::
+
+    <definitions name="Checksum" guid="6060843">
+      <portType name="IChecksum">
+        <operation name="Compute" result="xsd:int">
+          <part name="data" type="xsd:bytes"/>
+        </operation>
+        <operation name="Reset" oneWay="true"/>
+      </portType>
+    </definitions>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.errors import InterfaceError
+from repro.core.guid import guid_from_name, parse_guid
+from repro.core.interfaces import InterfaceSpec, MethodSpec, WIRE_TYPES
+
+__all__ = ["parse_wsdl", "write_wsdl"]
+
+_XSD_PREFIX = "xsd:"
+
+
+def _wire_type(text: str, context: str) -> str:
+    name = text[len(_XSD_PREFIX):] if text.startswith(_XSD_PREFIX) else text
+    if name not in WIRE_TYPES:
+        raise InterfaceError(f"{context}: unknown WSDL type {text!r}")
+    return name
+
+
+def parse_wsdl(source: str) -> InterfaceSpec:
+    """Parse a WSDL document (XML string) into an :class:`InterfaceSpec`."""
+    try:
+        root = ET.fromstring(source)
+    except ET.ParseError as exc:
+        raise InterfaceError(f"malformed WSDL: {exc}") from None
+    if root.tag != "definitions":
+        raise InterfaceError(
+            f"WSDL root must be <definitions>, got <{root.tag}>")
+    port = root.find("portType")
+    if port is None:
+        raise InterfaceError("WSDL has no <portType>")
+    name = port.get("name") or root.get("name")
+    if not name:
+        raise InterfaceError("WSDL portType needs a name")
+    guid_text: Optional[str] = root.get("guid")
+    guid = parse_guid(guid_text) if guid_text else guid_from_name(name)
+
+    methods = []
+    for op in port.findall("operation"):
+        op_name = op.get("name")
+        if not op_name:
+            raise InterfaceError(f"{name}: operation without a name")
+        params = tuple(
+            (part.get("name") or f"arg{i}",
+             _wire_type(part.get("type", "xsd:any"), f"{name}.{op_name}"))
+            for i, part in enumerate(op.findall("part")))
+        one_way = (op.get("oneWay", "false").lower() == "true")
+        result = "none" if one_way else _wire_type(
+            op.get("result", "xsd:none"), f"{name}.{op_name}")
+        methods.append(MethodSpec(name=op_name, params=params,
+                                  result=result, one_way=one_way))
+    return InterfaceSpec(name=name, guid=guid, methods=tuple(methods))
+
+
+def write_wsdl(spec: InterfaceSpec) -> str:
+    """Serialize an :class:`InterfaceSpec` back to a WSDL document."""
+    root = ET.Element("definitions",
+                      {"name": spec.name, "guid": str(spec.guid.value)})
+    port = ET.SubElement(root, "portType", {"name": spec.name})
+    for method in spec.methods:
+        attrs = {"name": method.name}
+        if method.one_way:
+            attrs["oneWay"] = "true"
+        elif method.result != "none":
+            attrs["result"] = _XSD_PREFIX + method.result
+        op = ET.SubElement(port, "operation", attrs)
+        for pname, ptype in method.params:
+            ET.SubElement(op, "part",
+                          {"name": pname, "type": _XSD_PREFIX + ptype})
+    return ET.tostring(root, encoding="unicode")

@@ -1,0 +1,145 @@
+"""Exception hierarchy for the HYDRA reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch framework failures without masking programming errors.
+The sub-hierarchy mirrors the major subsystems: the simulation engine, the
+hardware models, the host-OS models, and the HYDRA core runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation engine
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Base class for discrete-event engine errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a finished simulator."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process failed or was used incorrectly."""
+
+
+class InterruptError(ProcessError):
+    """A process was interrupted while waiting.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.engine.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# Hardware models
+# ---------------------------------------------------------------------------
+
+class HardwareError(ReproError):
+    """Base class for hardware-model errors."""
+
+
+class BusError(HardwareError):
+    """Invalid bus transaction (unknown endpoint, zero-length DMA, ...)."""
+
+
+class DeviceError(HardwareError):
+    """A programmable device rejected an operation."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Device-local memory exhausted or an invalid region was referenced."""
+
+
+# ---------------------------------------------------------------------------
+# Host OS models
+# ---------------------------------------------------------------------------
+
+class OSError_(ReproError):
+    """Base class for simulated-OS errors (named to avoid shadowing builtins)."""
+
+
+class SyscallError(OSError_):
+    """A simulated system call failed."""
+
+
+class SocketError(OSError_):
+    """Invalid socket usage in the simulated network stack."""
+
+
+class FileSystemError(OSError_):
+    """Simulated file-system / NFS failure."""
+
+
+# ---------------------------------------------------------------------------
+# HYDRA core
+# ---------------------------------------------------------------------------
+
+class HydraError(ReproError):
+    """Base class for HYDRA runtime errors."""
+
+
+class ODFError(HydraError):
+    """An Offcode Description File is malformed or inconsistent."""
+
+
+class OffcodeError(HydraError):
+    """Offcode lifecycle violation (bad state transition, missing interface)."""
+
+
+class InterfaceError(HydraError):
+    """Unknown interface GUID or method, or a signature mismatch."""
+
+
+class MarshalError(HydraError):
+    """A value could not be serialized into / deserialized from a Call."""
+
+
+class ChannelError(HydraError):
+    """Channel misuse: wrong state, endpoint mismatch, buffer exhaustion."""
+
+
+class ChannelClosedError(ChannelError):
+    """Operation attempted on a closed channel."""
+
+
+class ProviderError(HydraError):
+    """No channel provider can satisfy a requested channel configuration."""
+
+
+class DepotError(HydraError):
+    """Offcode Depot lookup failed (no instance for GUID/device class)."""
+
+
+class LoaderError(HydraError):
+    """Dynamic Offcode loading failed (no loader, allocation failure...)."""
+
+
+class DeploymentError(HydraError):
+    """The deployment pipeline could not place or start the Offcodes."""
+
+
+class LayoutError(HydraError):
+    """Offloading layout graph construction or validation failed."""
+
+
+class InfeasibleLayoutError(LayoutError):
+    """No placement satisfies the constraint set (Eq. 1 cannot hold)."""
+
+
+class SolverError(LayoutError):
+    """The ILP solver failed to produce a solution."""
+
+
+class ResourceError(HydraError):
+    """Hierarchical resource-management failure (double free, bad parent)."""

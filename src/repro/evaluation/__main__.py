@@ -1,0 +1,5 @@
+"""``python -m repro.evaluation`` — regenerate paper artifacts."""
+
+from repro.evaluation.cli import main
+
+raise SystemExit(main())

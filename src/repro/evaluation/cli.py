@@ -1,0 +1,146 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.evaluation table2 [--seconds 30] [--seed 0]
+    python -m repro.evaluation all --seconds 25
+
+Artifacts: ``fig1``, ``fig9``, ``fig10``, ``table2``, ``table3``,
+``table4``, ``ilp``, ``power``, or ``all``.  Output is the same
+paper-vs-measured rendering the benchmarks produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.evaluation.experiments import (
+    run_all_client_scenarios,
+    run_all_server_scenarios,
+    run_fig1,
+    run_ilp_vs_greedy,
+    run_power_comparison,
+)
+from repro.evaluation.reporting import (
+    render_client_l2,
+    render_fig1,
+    render_fig9,
+    render_fig10,
+    render_ilp_ablation,
+    render_power_ablation,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = ["main", "ARTIFACTS"]
+
+_server_cache: Dict = {}
+_client_cache: Dict = {}
+
+
+def _server_results(seconds: float, seed: int):
+    key = (seconds, seed)
+    if key not in _server_cache:
+        _server_cache[key] = run_all_server_scenarios(seconds=seconds,
+                                                      seed=seed)
+    return _server_cache[key]
+
+
+def _client_results(seconds: float, seed: int):
+    key = (seconds, seed)
+    if key not in _client_cache:
+        _client_cache[key] = run_all_client_scenarios(seconds=seconds,
+                                                      seed=seed)
+    return _client_cache[key]
+
+
+def _artifact_fig1(seconds: float, seed: int) -> str:
+    return render_fig1(run_fig1())
+
+
+def _artifact_fig9(seconds: float, seed: int) -> str:
+    return render_fig9(_server_results(seconds, seed))
+
+
+def _artifact_fig10(seconds: float, seed: int) -> str:
+    return render_fig10(_server_results(seconds, seed))
+
+
+def _artifact_table2(seconds: float, seed: int) -> str:
+    return render_table2(_server_results(seconds, seed))
+
+
+def _artifact_table3(seconds: float, seed: int) -> str:
+    return render_table3(_server_results(seconds, seed))
+
+
+def _artifact_table4(seconds: float, seed: int) -> str:
+    results = _client_results(seconds, seed)
+    return render_table4(results) + "\n\n" + render_client_l2(results)
+
+
+def _artifact_ilp(seconds: float, seed: int) -> str:
+    return render_ilp_ablation(run_ilp_vs_greedy(seed=seed or 7))
+
+
+def _artifact_power(seconds: float, seed: int) -> str:
+    return render_power_ablation(
+        run_power_comparison(seconds=min(seconds, 20.0), seed=seed))
+
+
+def _artifact_sweeps(seconds: float, seed: int) -> str:
+    from repro.evaluation.sweeps import (
+        render_sweep,
+        run_chunk_size_sweep,
+        run_rate_sweep,
+    )
+    per_point = min(seconds, 10.0)
+    rate = render_sweep(
+        "Extension: jitter/CPU vs stream rate",
+        run_rate_sweep(seconds=per_point, seed=seed), "interval ms")
+    chunk = render_sweep(
+        "Extension: jitter/CPU vs chunk size at 5 ms",
+        run_chunk_size_sweep(seconds=per_point, seed=seed),
+        "chunk bytes")
+    return rate + "\n\n" + chunk
+
+
+ARTIFACTS: Dict[str, Callable[[float, int], str]] = {
+    "fig1": _artifact_fig1,
+    "fig9": _artifact_fig9,
+    "fig10": _artifact_fig10,
+    "table2": _artifact_table2,
+    "table3": _artifact_table3,
+    "table4": _artifact_table4,
+    "ilp": _artifact_ilp,
+    "power": _artifact_power,
+    "sweeps": _artifact_sweeps,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("artifact",
+                        choices=sorted(ARTIFACTS) + ["all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--seconds", type=float, default=25.0,
+                        help="simulated seconds per scenario "
+                             "(default: 25; the paper ran 600)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root RNG seed (default: 0)")
+    args = parser.parse_args(argv)
+
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        print(ARTIFACTS[name](args.seconds, args.seed))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""The Figure 1 model: GHz/Gbps ratio for TCP transmit and receive.
+
+Figure 1 reprints measurements from Foong et al., "TCP performance
+re-visited" (ISPASS 2003): the CPU cost of saturating a link, expressed
+as ``GHz/Gbps = (%cpu x processor speed) / throughput``, for a sweep of
+packet sizes in the transmit and receive directions.  The paper uses it
+to argue that "host CPUs can spend all of their cycles just processing
+network traffic".
+
+The quantity reduces to *CPU cycles per bit transferred*:
+
+    ratio(S) = (c_pp + c_pb * S) / (8 * S)
+
+where ``c_pp`` is the per-packet cycle cost (interrupt, TCP/IP protocol
+work, socket bookkeeping) and ``c_pb`` the per-byte cost (copies and
+checksums).  Receive is dearer than transmit on both axes: rx takes an
+extra copy (NIC buffer -> socket buffer -> user) and its interrupts
+cannot be batched as well as tx completions.  Constants below are fit to
+the shape of Foong et al.'s curves on a 2.4 GHz P4 testbed: ratios of
+several GHz/Gbps at 64-byte packets, crossing ~1 around standard MTU,
+flattening toward the per-byte floor at 64 kB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["TcpCostModel", "STANDARD_SIZES", "fig1_series"]
+
+STANDARD_SIZES = (64, 128, 256, 512, 1024, 1460, 2048, 4096,
+                  8192, 16384, 32768, 65536)
+
+
+@dataclass(frozen=True)
+class TcpCostModel:
+    """Per-packet / per-byte TCP processing costs, in CPU cycles."""
+
+    tx_per_packet_cycles: float = 3_800.0
+    tx_per_byte_cycles: float = 1.1
+    rx_per_packet_cycles: float = 5_800.0
+    rx_per_byte_cycles: float = 2.4
+
+    def __post_init__(self) -> None:
+        for value in (self.tx_per_packet_cycles, self.tx_per_byte_cycles,
+                      self.rx_per_packet_cycles, self.rx_per_byte_cycles):
+            if value <= 0:
+                raise ReproError("TCP cost constants must be positive")
+
+    def cycles_per_packet(self, size_bytes: int, direction: str) -> float:
+        """CPU cycles to process one packet of ``size_bytes``."""
+        if size_bytes <= 0:
+            raise ReproError(f"packet size must be positive: {size_bytes}")
+        if direction == "tx":
+            return (self.tx_per_packet_cycles
+                    + self.tx_per_byte_cycles * size_bytes)
+        if direction == "rx":
+            return (self.rx_per_packet_cycles
+                    + self.rx_per_byte_cycles * size_bytes)
+        raise ReproError(f"direction must be 'tx' or 'rx': {direction!r}")
+
+    def ghz_per_gbps(self, size_bytes: int, direction: str) -> float:
+        """Cycles per bit == GHz of CPU burned per Gbps of traffic."""
+        return (self.cycles_per_packet(size_bytes, direction)
+                / (8.0 * size_bytes))
+
+    def cpu_utilization(self, size_bytes: int, direction: str,
+                        throughput_gbps: float,
+                        cpu_ghz: float = 2.4) -> float:
+        """Fraction of a ``cpu_ghz`` processor consumed at a target
+        throughput (may exceed 1.0: the link is then CPU-bound)."""
+        if throughput_gbps <= 0 or cpu_ghz <= 0:
+            raise ReproError("throughput and CPU speed must be positive")
+        return (self.ghz_per_gbps(size_bytes, direction)
+                * throughput_gbps / cpu_ghz)
+
+    def saturation_throughput_gbps(self, size_bytes: int, direction: str,
+                                   cpu_ghz: float = 2.4) -> float:
+        """Throughput at which the CPU hits 100 % — the paper's point
+        that packet processing can eat every cycle."""
+        return cpu_ghz / self.ghz_per_gbps(size_bytes, direction)
+
+
+def fig1_series(model: TcpCostModel = TcpCostModel(),
+                sizes: Tuple[int, ...] = STANDARD_SIZES
+                ) -> List[Tuple[int, float, float]]:
+    """The two Figure-1 curves: (size, tx ratio, rx ratio) rows."""
+    return [(size,
+             model.ghz_per_gbps(size, "tx"),
+             model.ghz_per_gbps(size, "rx"))
+            for size in sizes]

@@ -1,0 +1,195 @@
+"""Text rendering of experiment results — the paper's tables, regenerated.
+
+Every formatter returns a plain string so benchmarks can ``print`` it
+and EXPERIMENTS.md can embed it.  Measured values sit next to the
+paper's published values wherever the paper gives numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.evaluation.experiments import (
+    ClientScenarioResult,
+    IlpComparisonResult,
+    PAPER_CLIENT_L2,
+    PAPER_FIG10,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PowerComparisonResult,
+    ServerScenarioResult,
+)
+
+__all__ = [
+    "format_table",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_fig9",
+    "render_fig10",
+    "render_fig1",
+    "render_client_l2",
+    "render_ilp_ablation",
+    "render_power_ablation",
+]
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Monospace-aligned table with a title rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _stats_cell(median: float, average: float, stdev: float,
+                fmt: str = "{:.2f}") -> str:
+    return (f"{fmt.format(median)} / {fmt.format(average)} / "
+            f"{stdev:.4f}")
+
+
+def render_table2(results: Dict[str, ServerScenarioResult]) -> str:
+    """Table 2: client-side jitter statistics (milliseconds)."""
+    rows: List[List[str]] = []
+    for scenario in ("simple", "sendfile", "offloaded"):
+        result = results[scenario]
+        med, avg, std = result.jitter.row()
+        paper = PAPER_TABLE2[scenario]
+        rows.append([
+            scenario,
+            _stats_cell(med, avg, std),
+            _stats_cell(*paper),
+        ])
+    return format_table(
+        "Table 2: Client Side Jitter Statistics (ms, median/avg/stddev)",
+        ["scenario", "measured", "paper"], rows)
+
+
+def _render_cpu_table(title: str, scenarios: Sequence[str],
+                      results, paper: Dict) -> str:
+    rows: List[List[str]] = []
+    for scenario in scenarios:
+        result = results[scenario]
+        med, avg, std = result.cpu.row(scale=100.0)
+        paper_row = paper[scenario]
+        rows.append([
+            scenario,
+            _stats_cell(med, avg, std / 100.0),
+            _stats_cell(paper_row[0] * 100, paper_row[1] * 100,
+                        paper_row[2]),
+        ])
+    return format_table(title, ["scenario", "measured %", "paper %"], rows)
+
+
+def render_table3(results: Dict[str, ServerScenarioResult]) -> str:
+    """Table 3: server-side CPU utilization."""
+    return _render_cpu_table(
+        "Table 3: Server Side CPU Utilization (%, median/avg/stddev)",
+        ("idle", "simple", "sendfile", "offloaded"), results, PAPER_TABLE3)
+
+
+def render_table4(results: Dict[str, ClientScenarioResult]) -> str:
+    """Table 4: client-side CPU utilization."""
+    return _render_cpu_table(
+        "Table 4: Client Side CPU Utilization (%, median/avg/stddev)",
+        ("idle", "user-space", "offloaded"), results, PAPER_TABLE4)
+
+
+def render_fig9(results: Dict[str, ServerScenarioResult],
+                bin_ms: float = 0.5, bar_scale: int = 40) -> str:
+    """Figure 9: jitter histogram + CDF landmarks, as ASCII art."""
+    blocks: List[str] = ["Figure 9: Jitter Distribution"]
+    for scenario in ("simple", "sendfile", "offloaded"):
+        result = results[scenario]
+        samples = result.jitter_samples_ms
+        blocks.append(f"\n[{scenario}] n={len(samples)}")
+        bins = result.jitter_histogram(bin_ms)
+        peak = max((count for _, count in bins), default=1)
+        for edge, count in bins:
+            bar = "#" * max(1 if count else 0,
+                            round(bar_scale * count / peak))
+            blocks.append(f"  {edge:6.2f}ms |{bar} {count}")
+        cdf = result.jitter_cdf()
+        landmarks = []
+        for target in (0.10, 0.50, 0.90, 0.99):
+            value = next((v for v, frac in cdf if frac >= target),
+                         cdf[-1][0] if cdf else 0.0)
+            landmarks.append(f"p{int(target * 100)}={value:.2f}ms")
+        blocks.append("  CDF: " + "  ".join(landmarks))
+    return "\n".join(blocks)
+
+
+def render_fig10(results: Dict[str, ServerScenarioResult]) -> str:
+    """Figure 10: normalized server kernel L2 miss rate."""
+    idle_rate = results["idle"].l2_miss_rate
+    rows: List[List[str]] = []
+    for scenario in ("idle", "simple", "sendfile", "offloaded"):
+        rate = results[scenario].l2_miss_rate
+        normalized = rate / idle_rate if idle_rate else 0.0
+        rows.append([scenario, f"{normalized:.3f}",
+                     f"{PAPER_FIG10[scenario]:.3f}"])
+    return format_table(
+        "Figure 10: L2 Slowdown, Server Side (miss rate / idle miss rate)",
+        ["scenario", "measured", "paper"], rows)
+
+
+def render_client_l2(results: Dict[str, ClientScenarioResult]) -> str:
+    """The Section 6.4 text claim: user-space client +12 % L2 misses."""
+    idle_rate = results["idle"].l2_miss_rate
+    rows = []
+    for scenario in ("idle", "user-space", "offloaded"):
+        rate = results[scenario].l2_miss_rate
+        normalized = rate / idle_rate if idle_rate else 0.0
+        rows.append([scenario, f"{normalized:.3f}",
+                     f"{PAPER_CLIENT_L2[scenario]:.3f}"])
+    return format_table(
+        "Client Side L2 Misses (normalized to idle; paper: text, Sec 6.4)",
+        ["scenario", "measured", "paper"], rows)
+
+
+def render_fig1(series: Sequence[Tuple[int, float, float]]) -> str:
+    """Figure 1: GHz/Gbps transmit and receive ratios by packet size."""
+    rows = [[f"{size}", f"{tx:.3f}", f"{rx:.3f}"]
+            for size, tx, rx in series]
+    return format_table(
+        "Figure 1: GHz/Gbps Ratio (Foong et al. cost model)",
+        ["packet bytes", "transmit", "receive"], rows)
+
+
+def render_ilp_ablation(result: IlpComparisonResult) -> str:
+    """Render the ILP-vs-greedy ablation summary."""
+    rows = [
+        ["random graphs solved", str(result.graphs), ""],
+        ["greedy infeasible", str(result.greedy_failures),
+         "backtracking needed"],
+        ["greedy suboptimal", str(result.greedy_suboptimal),
+         '"not always optimal"'],
+        ["mean objective gap", f"{result.mean_gap:.1%}", ""],
+        ["worst objective gap", f"{result.worst_gap:.1%}", ""],
+    ]
+    return format_table(
+        "Ablation: ILP (exact) vs greedy placement (Section 5 claim)",
+        ["metric", "value", "paper claim"], rows)
+
+
+def render_power_ablation(results: Dict[str, PowerComparisonResult]
+                          ) -> str:
+    """Render the per-scenario server-machine energy table."""
+    rows = []
+    for scenario in ("simple", "sendfile", "offloaded"):
+        r = results[scenario]
+        rows.append([scenario, f"{r.host_joules:.1f}",
+                     f"{r.device_joules:.3f}", f"{r.total_joules:.1f}"])
+    return format_table(
+        "Ablation: server-machine energy (J) — offload argument #3",
+        ["scenario", "host CPU J", "NIC CPU J", "machine total J"], rows)

@@ -1,0 +1,38 @@
+"""Simulated host operating system.
+
+Substitutes for the testbed's Linux 2.6.15 kernels (DESIGN.md §2):
+timer ticks and background daemons, scheduler wakeup latency, UDP
+sockets with copying and scatter-gather send paths, and NFS.
+"""
+
+from repro.hostos.kernel import BackgroundLoadConfig, Kernel, KernelConfig
+from repro.hostos.nfs import (
+    DeviceNfsClient,
+    HostNfsClient,
+    NFS_PORT,
+    NfsRequest,
+    NfsResponse,
+    NfsServer,
+    NfsServerConfig,
+    RemoteFile,
+)
+from repro.hostos.scheduler import SchedulerSpec, WakeupModel
+from repro.hostos.sockets import UdpSocket, UdpStack
+
+__all__ = [
+    "BackgroundLoadConfig",
+    "DeviceNfsClient",
+    "HostNfsClient",
+    "Kernel",
+    "KernelConfig",
+    "NFS_PORT",
+    "NfsRequest",
+    "NfsResponse",
+    "NfsServer",
+    "NfsServerConfig",
+    "RemoteFile",
+    "SchedulerSpec",
+    "UdpSocket",
+    "UdpStack",
+    "WakeupModel",
+]

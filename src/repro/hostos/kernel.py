@@ -1,0 +1,218 @@
+"""Simulated host operating-system kernel.
+
+Attaches on top of a :class:`repro.hw.machine.Machine` and provides the
+OS artifacts the paper's evaluation depends on:
+
+* a **periodic timer tick** charging ISR time (the "system noise" of
+  Tsafrir et al., cited by the paper for its timeliness argument);
+* **background daemons** reproducing the testbed's idle baseline
+  (the paper's idle system shows 2.86 % CPU and a nonzero L2 miss rate
+  that Figure 10 normalizes against);
+* **timed sleeps** that suffer tick quantization and scheduler latency
+  (see :mod:`repro.hostos.scheduler`);
+* **syscall and buffer-copy costs** that charge host CPU time *and*
+  stream the copied bytes through the L2 model — the mechanism behind
+  the Simple server's 7 % L2 miss-rate increase in Figure 10.
+
+Everything is parameterized by :class:`KernelConfig`; the defaults are
+calibrated so an otherwise-idle machine reproduces the paper's idle rows
+(Tables 3 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from repro import units
+from repro.errors import OSError_
+from repro.hw.cache import Cache
+from repro.hw.machine import Machine
+from repro.hostos.scheduler import SchedulerSpec, WakeupModel
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RandomStreams
+
+__all__ = ["KernelConfig", "BackgroundLoadConfig", "Kernel"]
+
+
+@dataclass(frozen=True)
+class BackgroundLoadConfig:
+    """The idle system's daemons (cron, logging, kernel threads).
+
+    Calibration: wake every 10 ms and burn a truncated-normal slice of
+    CPU whose mean yields the paper's idle utilization of ~2.86 % with a
+    per-5-second-window standard deviation of ~0.09 %.  Each slice walks
+    part of a dedicated working set so the idle system also has a
+    baseline L2 miss rate to normalize Figure 10 against.
+    """
+
+    period_ns: int = 10 * units.MS
+    work_mean_ns: int = 266 * units.US
+    work_sigma_ns: int = 180 * units.US
+    work_min_ns: int = 30 * units.US
+    # The daemons' working set deliberately exceeds the 256 kB L2 (real
+    # kernels walk more state than fits), giving the idle system the
+    # nonzero baseline miss rate Figure 10 normalizes against.
+    working_set_bytes: int = 768 * 1024
+    touch_bytes_per_wake: int = 80 * 1024
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Cost parameters of the simulated kernel (Linux 2.6.15-class)."""
+
+    scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
+    background: BackgroundLoadConfig = field(
+        default_factory=BackgroundLoadConfig)
+    tick_cost_ns: int = 2_000             # timer ISR + timekeeping
+    syscall_ns: int = 900                 # entry/exit, P4 sysenter era
+    context_switch_ns: int = 6_000
+    interrupt_ns: int = 7_000             # ISR entry + device ack
+    softirq_per_packet_ns: int = 9_000    # IP/UDP receive processing
+    copy_ns_per_byte: float = 0.9         # memcpy incl. cache stalls
+    checksum_ns_per_byte: float = 0.35
+    # Address-space layout for cache charging (disjoint regions).
+    kernel_text_base: int = 0x0100_0000
+    kernel_buffer_base: int = 0x0200_0000
+    user_buffer_base: int = 0x0800_0000
+    background_base: int = 0x0400_0000
+
+
+class Kernel:
+    """The OS instance for one machine."""
+
+    def __init__(self, machine: Machine, rng: RandomStreams,
+                 config: Optional[KernelConfig] = None) -> None:
+        self.machine = machine
+        self.sim: Simulator = machine.sim
+        self.config = config or KernelConfig()
+        self.rng = rng.fork(f"kernel-{machine.name}")
+        self.wakeup = WakeupModel(self.config.scheduler,
+                                  self.rng.stream("scheduler"),
+                                  cpu=machine.cpu)
+        self.cpu = machine.cpu
+        self.l2: Cache = machine.l2
+        self.ticks = 0
+        self.syscalls: Dict[str, int] = {}
+        self._started = False
+        # Rolling offsets so successive copies stream through the cache
+        # instead of reusing one hot buffer (packet buffers rotate in a
+        # real kernel's slab/page allocators).
+        self._kbuf_cursor = 0
+        self._ubuf_cursor = 0
+        # Installed by the socket stack when a NIC is attached.
+        self.udp = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self, with_background: bool = True) -> None:
+        """Begin the tick loop and (optionally) the idle daemons."""
+        if self._started:
+            raise OSError_(f"kernel on {self.machine.name} already started")
+        self._started = True
+        self.sim.spawn(self._tick_loop(), name=f"{self.machine.name}-ticks")
+        if with_background:
+            self.sim.spawn(self._background_loop(),
+                           name=f"{self.machine.name}-daemons")
+
+    def _tick_loop(self) -> Generator[Event, None, None]:
+        tick = self.config.scheduler.tick_ns
+        while True:
+            yield self.sim.timeout(tick)
+            self.ticks += 1
+            # The tick handler touches a small slice of kernel text/data.
+            self.l2.access_range(self.config.kernel_text_base, 512)
+            yield from self.cpu.execute(self.config.tick_cost_ns,
+                                        context="kernel-tick")
+
+    def _background_loop(self) -> Generator[Event, None, None]:
+        cfg = self.config.background
+        work_rng = self.rng.stream("background-work")
+        addr_rng = self.rng.stream("background-addr")
+        while True:
+            yield self.sim.timeout(cfg.period_ns)
+            work = max(cfg.work_min_ns,
+                       round(work_rng.gauss(cfg.work_mean_ns,
+                                            cfg.work_sigma_ns)))
+            # Walk a random window of the daemons' working set.  When the
+            # set is cache-resident these mostly hit; streaming server
+            # traffic evicts it and drives the miss rate up (Figure 10).
+            offset = addr_rng.randrange(
+                0, max(1, cfg.working_set_bytes - cfg.touch_bytes_per_wake))
+            self.l2.access_range(self.config.background_base + offset,
+                                 cfg.touch_bytes_per_wake)
+            yield from self.cpu.execute(work, context="idle-daemons")
+
+    # -- timed sleep ---------------------------------------------------------------
+
+    def sleep(self, duration_ns: int) -> Generator[Event, None, None]:
+        """Sleep with realistic wakeup error (tick quantization + dispatch).
+
+        The caller also pays a context switch on the CPU when it resumes.
+        """
+        if duration_ns < 0:
+            raise OSError_(f"negative sleep: {duration_ns}")
+        nominal_wake = self.sim.now + duration_ns
+        extra = self.wakeup.wakeup_delay_ns(nominal_wake)
+        yield self.sim.timeout(duration_ns + extra)
+        yield from self.cpu.execute(self.config.context_switch_ns,
+                                    context="kernel-sched")
+
+    # -- syscall / copy accounting ---------------------------------------------------
+
+    def syscall(self, name: str, cost_ns: int = 0
+                ) -> Generator[Event, None, None]:
+        """Charge syscall entry/exit plus ``cost_ns`` of kernel work."""
+        self.syscalls[name] = self.syscalls.get(name, 0) + 1
+        self.l2.access_range(self.config.kernel_text_base + 4096, 256)
+        yield from self.cpu.execute(self.config.syscall_ns + cost_ns,
+                                    context="kernel-syscall")
+
+    def copy_to_user(self, size: int, context: str = "kernel-copy"
+                     ) -> Generator[Event, None, None]:
+        """Kernel buffer -> user buffer: read one region, write another."""
+        yield from self._copy(size, context, self._next_kbuf(size),
+                              self._next_ubuf(size))
+
+    def copy_from_user(self, size: int, context: str = "kernel-copy"
+                       ) -> Generator[Event, None, None]:
+        """User buffer -> kernel buffer."""
+        yield from self._copy(size, context, self._next_ubuf(size),
+                              self._next_kbuf(size))
+
+    def _copy(self, size: int, context: str, src: int, dst: int
+              ) -> Generator[Event, None, None]:
+        if size < 0:
+            raise OSError_(f"negative copy size: {size}")
+        if size == 0:
+            return
+        self.l2.access_range(src, size)
+        self.l2.access_range(dst, size, write=True)
+        yield from self.cpu.execute(
+            round(size * self.config.copy_ns_per_byte), context=context)
+
+    def checksum(self, size: int, context: str = "kernel-net"
+                 ) -> Generator[Event, None, None]:
+        """Software checksum: read the payload once, charge per-byte cost."""
+        self.l2.access_range(self._next_kbuf(size), size)
+        yield from self.cpu.execute(
+            round(size * self.config.checksum_ns_per_byte), context=context)
+
+    def _next_kbuf(self, size: int) -> int:
+        # Rotate through a 1 MB ring of kernel buffer addresses.
+        addr = self.config.kernel_buffer_base + self._kbuf_cursor
+        self._kbuf_cursor = (self._kbuf_cursor + size) % (1 << 20)
+        return addr
+
+    def _next_ubuf(self, size: int) -> int:
+        addr = self.config.user_buffer_base + self._ubuf_cursor
+        self._ubuf_cursor = (self._ubuf_cursor + size) % (1 << 20)
+        return addr
+
+    # -- interrupts --------------------------------------------------------------------
+
+    def isr(self, extra_ns: int = 0) -> Generator[Event, None, None]:
+        """Interrupt service: ISR cost + a touch of kernel text."""
+        self.l2.access_range(self.config.kernel_text_base + 8192, 384)
+        yield from self.cpu.execute(self.config.interrupt_ns + extra_ns,
+                                    context="kernel-isr")

@@ -1,0 +1,200 @@
+"""UDP socket stack for the simulated host OS.
+
+Implements the two host transmit paths the evaluation compares:
+
+* :meth:`UdpSocket.sendto` — the Simple-server path: syscall, copy of the
+  payload from user space into a kernel buffer (through the L2), software
+  checksum, then DMA to the NIC.
+* :meth:`UdpSocket.sendto_gather` — the scatter-gather path used by
+  ``sendfile``: the payload already sits in kernel/DMA buffers, so no CPU
+  copy occurs; only descriptor setup is charged.  The paper notes this
+  requires scatter-gather hardware support on the NIC, so the call checks
+  the device feature and falls back to a copying send without it.
+
+Receive side: the NIC's host path DMAs the frame into the host ring and
+raises an interrupt; the stack's handler charges ISR + softirq + checksum
+and appends to the bound socket's queue.  ``recvfrom`` then pays the
+syscall and the copy to user space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.errors import SocketError
+from repro.hw.nic import Nic
+from repro.hostos.kernel import Kernel
+from repro.net.packet import Address, Packet
+from repro.sim.engine import Event
+from repro.sim.resources import Store
+
+__all__ = ["UdpStack", "UdpSocket"]
+
+_EPHEMERAL_BASE = 32768
+
+
+class UdpSocket:
+    """A bound UDP socket on a host kernel."""
+
+    def __init__(self, stack: "UdpStack", port: int,
+                 rx_capacity: int = 512) -> None:
+        self.stack = stack
+        self.port = port
+        self.queue: Store = Store(stack.kernel.sim, capacity=rx_capacity,
+                                  drop_when_full=True)
+        self.closed = False
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    @property
+    def address(self) -> Address:
+        """This socket's (host, port) address."""
+        return Address(self.stack.host_name, self.port)
+
+    # -- transmit ---------------------------------------------------------------
+
+    def sendto(self, dst: Address, size_bytes: int, payload=None
+               ) -> Generator[Event, None, Packet]:
+        """Standard copying send path (user buffer -> kernel -> NIC)."""
+        self._check_open()
+        kernel = self.stack.kernel
+        yield from kernel.syscall("sendto")
+        yield from kernel.copy_from_user(size_bytes, context="kernel-net")
+        yield from kernel.checksum(size_bytes)
+        return (yield from self._transmit(dst, size_bytes, payload))
+
+    def sendto_gather(self, dst: Address, size_bytes: int, payload=None
+                      ) -> Generator[Event, None, Packet]:
+        """Zero-copy send of data already in kernel buffers.
+
+        Needs NIC scatter-gather support; otherwise the kernel copies the
+        data into a linear socket buffer first (the fallback the paper
+        describes for hardware without the feature).
+        """
+        self._check_open()
+        kernel = self.stack.kernel
+        if self.stack.nic.spec.has_feature("scatter-gather"):
+            # Descriptor setup only: a handful of cache lines, tiny CPU cost.
+            yield from kernel.cpu.execute(1_500, context="kernel-net")
+        else:
+            yield from kernel.copy_from_user(size_bytes, context="kernel-net")
+            yield from kernel.checksum(size_bytes)
+        return (yield from self._transmit(dst, size_bytes, payload))
+
+    def _transmit(self, dst: Address, size_bytes: int, payload
+                  ) -> Generator[Event, None, Packet]:
+        packet = Packet(src=self.address, dst=dst, size_bytes=size_bytes,
+                        payload=payload)
+        packet.sent_at_ns = self.stack.kernel.sim.now
+        yield from self.stack.nic.transmit_from_host(packet)
+        self.tx_packets += 1
+        return packet
+
+    # -- receive -----------------------------------------------------------------
+
+    def recvfrom(self) -> Generator[Event, None, Packet]:
+        """Block until a datagram arrives; pays syscall + copy-to-user."""
+        self._check_open()
+        kernel = self.stack.kernel
+        packet: Packet = yield self.queue.get()
+        yield from kernel.syscall("recvfrom")
+        yield from kernel.copy_to_user(packet.size_bytes, context="kernel-net")
+        self.rx_packets += 1
+        return packet
+
+    def recvfrom_kernel(self) -> Generator[Event, None, Packet]:
+        """Kernel-internal receive (NFS client, in-kernel consumers):
+        no syscall crossing and no copy to user space — the payload is
+        consumed where the DMA left it."""
+        self._check_open()
+        packet: Packet = yield self.queue.get()
+        yield from self.stack.kernel.cpu.execute(1_200, context="kernel-net")
+        self.rx_packets += 1
+        return packet
+
+    def sendto_kernel(self, dst: Address, size_bytes: int, payload=None
+                      ) -> Generator[Event, None, Packet]:
+        """Kernel-internal send: RPC header work, no syscall, no user
+        copy; the NIC checksums and gathers the payload itself."""
+        self._check_open()
+        yield from self.stack.kernel.cpu.execute(2_000, context="kernel-net")
+        return (yield from self._transmit(dst, size_bytes, payload))
+
+    def close(self) -> None:
+        """Unbind; the port becomes reusable."""
+        if not self.closed:
+            self.closed = True
+            self.stack._unbind(self.port)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SocketError(f"socket {self.address} is closed")
+
+
+class UdpStack:
+    """Per-host UDP stack: port table, NIC attachment, receive bottom half."""
+
+    def __init__(self, kernel: Kernel, host_name: str) -> None:
+        self.kernel = kernel
+        self.host_name = host_name
+        self.nic: Optional[Nic] = None
+        self._ports: Dict[int, UdpSocket] = {}
+        self._next_ephemeral = _EPHEMERAL_BASE
+        self.rx_delivered = 0
+        self.rx_no_listener = 0
+        kernel.udp = self
+
+    # -- setup -------------------------------------------------------------------
+
+    def attach_nic(self, nic: Nic, switch) -> None:
+        """Wire a NIC to a switch under this host's name."""
+        if self.nic is not None:
+            raise SocketError(f"{self.host_name}: stack already has a NIC")
+        self.nic = nic
+        transmit = switch.attach(self.host_name, nic.receive_packet)
+        nic.attach_wire(transmit)
+        nic.set_interrupt_handler(self._on_interrupt)
+
+    # -- sockets -------------------------------------------------------------------
+
+    def socket(self, port: Optional[int] = None) -> UdpSocket:
+        """Bind a new UDP socket (ephemeral port when ``port`` is None)."""
+        if port is None:
+            while self._next_ephemeral in self._ports:
+                self._next_ephemeral += 1
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+        if port in self._ports:
+            raise SocketError(f"{self.host_name}: port {port} already bound")
+        sock = UdpSocket(self, port)
+        self._ports[port] = sock
+        return sock
+
+    def _unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    # -- receive bottom half -----------------------------------------------------------
+
+    def _on_interrupt(self, vector: str, payload) -> None:
+        if vector != "rx":
+            return
+        self.kernel.sim.spawn(self._rx_bottom_half(),
+                              name=f"{self.host_name}-rx-bh")
+
+    def _rx_bottom_half(self) -> Generator[Event, None, None]:
+        kernel = self.kernel
+        assert self.nic is not None
+        yield from kernel.isr()
+        packet: Packet = yield self.nic.host_rx_ring.get()
+        yield from kernel.cpu.execute(kernel.config.softirq_per_packet_ns,
+                                      context="kernel-net")
+        if not self.nic.spec.has_feature("csum-offload"):
+            yield from kernel.checksum(packet.size_bytes)
+        if packet.received_at_ns is None:
+            packet.received_at_ns = kernel.sim.now
+        sock = self._ports.get(packet.dst.port)
+        if sock is None or sock.closed:
+            self.rx_no_listener += 1
+            return
+        yield sock.queue.put(packet)
+        self.rx_delivered += 1

@@ -1,0 +1,195 @@
+"""I/O interconnect model (PCI / PCIe) with DMA transfers.
+
+Bus crossings are the paper's central cost currency: offloading wins by
+"eliminating expensive memory bus crossings" and the TiVoPC layout is
+chosen to minimise them (Section 6.3).  Two properties matter:
+
+* **Bandwidth / arbitration** — each transfer holds the bus for an
+  arbitration setup time plus the serialization delay of its payload.
+* **Peer-to-peer capability** — the paper notes that with PCIe a packet
+  can move NIC -> GPU *and* NIC -> disk "in a single bus transaction"
+  without touching host memory.  A :class:`Bus` with
+  ``peer_to_peer=False`` (classic PCI) forces device-to-device traffic
+  through host memory, doubling the crossings.
+
+All transfers are recorded per (source, destination) endpoint pair, so
+experiments can count crossings and measure the bus bandwidth actually
+consumed (the *Maximize Bus Usage* objective of Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro import units
+from repro.errors import BusError
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["BusSpec", "Bus", "HOST_MEMORY", "TransferRecord"]
+
+# Canonical endpoint name for host DRAM.
+HOST_MEMORY = "host-memory"
+
+
+@dataclass(frozen=True)
+class BusSpec:
+    """Static bus parameters.
+
+    The default models 4x PCIe-generation interconnect headroom of the
+    paper's era server boards; construct with ``pci_legacy()`` for the
+    classic shared 133 MB/s PCI bus.
+    """
+
+    name: str = "pcie"
+    bandwidth_bps: float = 8.0e9       # ~PCIe x4 effective
+    arbitration_ns: int = 200
+    peer_to_peer: bool = True
+
+    @staticmethod
+    def pci_legacy() -> "BusSpec":
+        """Classic 32-bit/33 MHz PCI: ~1.06 Gbps shared, no peer-to-peer."""
+        return BusSpec(name="pci", bandwidth_bps=1.064e9,
+                       arbitration_ns=500, peer_to_peer=False)
+
+
+@dataclass
+class TransferRecord:
+    """One completed bus transaction."""
+
+    time_ns: int
+    src: str
+    dst: str
+    size_bytes: int
+    duration_ns: int
+    multicast: bool = False
+
+
+class Bus:
+    """A shared interconnect segment between host memory and devices."""
+
+    def __init__(self, sim: Simulator, spec: Optional[BusSpec] = None) -> None:
+        self.sim = sim
+        self.spec = spec or BusSpec()
+        self._arbiter = Resource(sim, capacity=1)
+        self._endpoints: Dict[str, object] = {HOST_MEMORY: None}
+        self.transfers: List[TransferRecord] = []
+        self.bytes_moved = 0
+        self.crossings: Dict[Tuple[str, str], int] = {}
+        self.record_log = False   # keep full TransferRecord list (tests/debug)
+
+    # -- topology ------------------------------------------------------------
+
+    def attach(self, name: str, endpoint: object = None) -> None:
+        """Register an endpoint (a device, or a memory agent)."""
+        if name in self._endpoints:
+            raise BusError(f"endpoint {name!r} already attached to {self.spec.name}")
+        self._endpoints[name] = endpoint
+
+    def endpoint(self, name: str) -> object:
+        """The object attached under ``name`` (BusError if unknown)."""
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise BusError(f"unknown bus endpoint {name!r}") from None
+
+    @property
+    def endpoints(self) -> List[str]:
+        """All attached endpoint names."""
+        return list(self._endpoints)
+
+    # -- transfers -------------------------------------------------------------
+
+    def transfer_time_ns(self, size_bytes: int) -> int:
+        """Pure serialization + arbitration delay for a payload."""
+        return self.spec.arbitration_ns + units.transfer_time_ns(
+            size_bytes, self.spec.bandwidth_bps)
+
+    def transfer(self, src: str, dst: str, size_bytes: int
+                 ) -> Generator[Event, None, int]:
+        """Process generator: move ``size_bytes`` from ``src`` to ``dst``.
+
+        Device-to-device transfers on a non-peer-to-peer bus are staged
+        through host memory (two transactions).  Returns the total number
+        of bus transactions performed.
+        """
+        self._check(src, dst, size_bytes)
+        if (src != HOST_MEMORY and dst != HOST_MEMORY
+                and not self.spec.peer_to_peer):
+            yield from self._single_transfer(src, HOST_MEMORY, size_bytes)
+            yield from self._single_transfer(HOST_MEMORY, dst, size_bytes)
+            return 2
+        yield from self._single_transfer(src, dst, size_bytes)
+        return 1
+
+    def multicast_transfer(self, src: str, dsts: List[str], size_bytes: int
+                           ) -> Generator[Event, None, int]:
+        """Move one payload to several destinations.
+
+        On a peer-to-peer bus this is a *single* transaction (the paper's
+        PCIe footnote: a packet can reach both the GPU and the disk
+        controller at once); otherwise one transaction per destination.
+        """
+        if not dsts:
+            raise BusError("multicast requires at least one destination")
+        for dst in dsts:
+            self._check(src, dst, size_bytes)
+        if self.spec.peer_to_peer:
+            yield from self._single_transfer(src, dsts[0], size_bytes,
+                                             multicast=True)
+            for dst in dsts:
+                self._count(src, dst)
+            return 1
+        count = 0
+        for dst in dsts:
+            count += yield from self.transfer(src, dst, size_bytes)
+        return count
+
+    # -- internals --------------------------------------------------------------
+
+    def _check(self, src: str, dst: str, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise BusError(f"transfer size must be positive: {size_bytes}")
+        if src not in self._endpoints:
+            raise BusError(f"unknown source endpoint {src!r}")
+        if dst not in self._endpoints:
+            raise BusError(f"unknown destination endpoint {dst!r}")
+        if src == dst:
+            raise BusError(f"transfer from {src!r} to itself")
+
+    def _single_transfer(self, src: str, dst: str, size_bytes: int,
+                         multicast: bool = False
+                         ) -> Generator[Event, None, None]:
+        yield self._arbiter.request()
+        start = self.sim.now
+        try:
+            yield self.sim.timeout(self.transfer_time_ns(size_bytes))
+        finally:
+            self._arbiter.release()
+        self.bytes_moved += size_bytes
+        if not multicast:
+            self._count(src, dst)
+        if self.record_log:
+            self.transfers.append(TransferRecord(
+                time_ns=start, src=src, dst=dst, size_bytes=size_bytes,
+                duration_ns=self.sim.now - start, multicast=multicast))
+
+    def _count(self, src: str, dst: str) -> None:
+        key = (src, dst)
+        self.crossings[key] = self.crossings.get(key, 0) + 1
+
+    # -- inspection --------------------------------------------------------------
+
+    def total_crossings(self) -> int:
+        """Total recorded transactions across all pairs."""
+        return sum(self.crossings.values())
+
+    def host_memory_crossings(self) -> int:
+        """Transactions that touched host memory (the expensive ones)."""
+        return sum(n for (s, d), n in self.crossings.items()
+                   if HOST_MEMORY in (s, d))
+
+    def utilization(self, since: int = 0) -> float:
+        """Fraction of wall time the bus was occupied since ``since``."""
+        return self._arbiter.utilization(since)

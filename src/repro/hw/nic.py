@@ -1,0 +1,138 @@
+"""Programmable network interface card.
+
+Models the paper's 3Com 3C985B-SX: a gigabit NIC with an embedded
+processor and enough local memory to host firmware extensions (Offcodes).
+
+Two receive paths exist, matching the paper's host vs. offloaded modes:
+
+* **Host path** — the packet is DMA'd into a host ring buffer and an
+  interrupt is raised; the simulated kernel then runs the ISR, charges
+  protocol-processing CPU time and delivers to a socket.
+* **Offload path** — a handler installed by the HYDRA device runtime runs
+  directly on the NIC's CPU; the payload never crosses the bus unless the
+  handler moves it.
+
+Transmission likewise either originates from host memory (kernel path,
+one host-memory bus crossing) or from device memory (offloaded path,
+no host involvement).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.errors import DeviceError
+from repro.hw.bus import Bus
+from repro.hw.device import DeviceClass, DeviceSpec, ProgrammableDevice
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Store
+
+__all__ = ["NicSpec", "Nic"]
+
+
+def NicSpec(name: str = "nic0", vendor: str = "3COM",
+            local_memory_bytes: int = 8 * 1024 * 1024,
+            extra_features: tuple = ()) -> DeviceSpec:
+    """DeviceSpec factory for a programmable gigabit NIC."""
+    return DeviceSpec(
+        name=name,
+        device_class=DeviceClass.NETWORK,
+        local_memory_bytes=local_memory_bytes,
+        vendor=vendor,
+        bus_type="pci",
+        mac_type="ethernet",
+        features=frozenset(
+            {"scatter-gather", "multicast-hw", "dma-master", "csum-offload"}
+            | set(extra_features)),
+    )
+
+
+class Nic(ProgrammableDevice):
+    """A programmable NIC with host and offloaded receive paths."""
+
+    # Fixed per-packet firmware costs (descriptor handling, MAC filtering).
+    RX_FIRMWARE_NS = 1_500
+    TX_FIRMWARE_NS = 1_200
+
+    def __init__(self, sim: Simulator, bus: Bus,
+                 spec: Optional[DeviceSpec] = None) -> None:
+        super().__init__(sim, spec or NicSpec(), bus)
+        # Host receive ring: holds packets DMA'd to host memory awaiting
+        # the kernel.  Fixed-size, drop-on-full, like real descriptor rings.
+        self.host_rx_ring: Store = Store(sim, capacity=256, drop_when_full=True)
+        # Offloaded handler: packet -> generator run on the device CPU.
+        self._rx_offload_handler: Optional[Callable] = None
+        # Wire hook, installed by the network substrate.
+        self._wire_tx: Optional[Callable] = None
+        self.rx_packets = 0
+        self.tx_packets = 0
+
+    # -- wiring (called by repro.net) ------------------------------------------
+
+    def attach_wire(self, transmit: Callable) -> None:
+        """Install the function that puts a packet on the physical medium."""
+        self._wire_tx = transmit
+
+    # -- offload control (called by the HYDRA runtime) ----------------------------
+
+    def install_rx_offload(self, handler: Callable) -> None:
+        """Divert received packets to ``handler`` on the device CPU.
+
+        ``handler(packet)`` must be a generator (a device process body).
+        If the generator returns ``False`` the packet was not claimed and
+        falls through to the host path (DMA + interrupt); any other return
+        value means the device consumed it.
+        """
+        if self._rx_offload_handler is not None:
+            raise DeviceError(f"{self.name}: rx offload handler already installed")
+        self._rx_offload_handler = handler
+
+    def remove_rx_offload(self) -> None:
+        """Restore the pure host receive path."""
+        self._rx_offload_handler = None
+
+    @property
+    def rx_offloaded(self) -> bool:
+        """True while a firmware receive handler is installed."""
+        return self._rx_offload_handler is not None
+
+    # -- receive ----------------------------------------------------------------
+
+    def receive_packet(self, packet) -> None:
+        """Entry point from the wire (called by the link model)."""
+        self.rx_packets += 1
+        self.sim.spawn(self._rx_path(packet), name=f"{self.name}-rx")
+
+    def _rx_path(self, packet) -> Generator[Event, None, None]:
+        yield from self.run_on_device(self.RX_FIRMWARE_NS, context="nic-rx")
+        if self._rx_offload_handler is not None:
+            consumed = yield from self._rx_offload_handler(packet)
+            if consumed is not False:
+                return
+        # Host path: DMA payload to the host ring, then interrupt.
+        yield from self.dma_to_host(max(1, packet.size_bytes))
+        # Hardware receive timestamp: taken at DMA completion, before
+        # any host-side processing can skew it.
+        if hasattr(packet, "received_at_ns"):
+            packet.received_at_ns = self.sim.now
+        stored = yield self.host_rx_ring.put(packet)
+        if stored:
+            self.raise_interrupt("rx", packet)
+
+    # -- transmit ----------------------------------------------------------------
+
+    def transmit_from_host(self, packet) -> Generator[Event, None, None]:
+        """Kernel tx path: DMA the frame from host memory, then send."""
+        yield from self.dma_from_host(max(1, packet.size_bytes))
+        yield from self._transmit(packet)
+
+    def transmit_from_device(self, packet) -> Generator[Event, None, None]:
+        """Offloaded tx path: the frame already lives in device memory."""
+        yield from self._transmit(packet)
+
+    def _transmit(self, packet) -> Generator[Event, None, None]:
+        if self._wire_tx is None:
+            raise DeviceError(f"{self.name} is not attached to a network")
+        yield from self.run_on_device(self.TX_FIRMWARE_NS, context="nic-tx")
+        self.tx_packets += 1
+        self._wire_tx(packet)

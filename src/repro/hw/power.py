@@ -1,0 +1,75 @@
+"""System power accounting.
+
+Offloading argument #3 in the paper (Section 1.1): "A Pentium 4 2.8 GHz
+processor consumes 68 W whereas an Intel XScale 600 MHz processor ...
+consumes 0.5 W, two orders of magnitude less."  The power model
+integrates each registered CPU's idle and active power over its measured
+busy time, so the ablation bench can show the energy consequence of
+moving the same logical work from the host to device CPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro import units
+from repro.hw.cpu import Cpu
+
+__all__ = ["PowerModel", "ComponentEnergy"]
+
+
+@dataclass
+class ComponentEnergy:
+    """Energy breakdown for one component over a window."""
+
+    name: str
+    busy_seconds: float
+    idle_seconds: float
+    joules: float
+
+    @property
+    def average_watts(self) -> float:
+        """Energy over the window divided by its duration."""
+        total = self.busy_seconds + self.idle_seconds
+        return self.joules / total if total > 0 else 0.0
+
+
+class PowerModel:
+    """Tracks registered CPUs and integrates their energy over time.
+
+    The model assumes two-level power (idle watts when not executing,
+    active watts when executing), which is the granularity of the paper's
+    claim; it deliberately ignores DVFS and sleep states.
+    """
+
+    def __init__(self) -> None:
+        self._cpus: Dict[str, Cpu] = {}
+
+    def register(self, cpu: Cpu) -> None:
+        """Track a CPU's energy (each CPU once)."""
+        if cpu.name in self._cpus:
+            raise ValueError(f"cpu {cpu.name!r} already registered")
+        self._cpus[cpu.name] = cpu
+
+    def component_energy(self, name: str, window_start_ns: int = 0) -> ComponentEnergy:
+        """Energy consumed by one CPU between ``window_start_ns`` and now."""
+        cpu = self._cpus[name]
+        window_ns = cpu.sim.now - window_start_ns
+        window_s = units.ns_to_s(max(0, window_ns))
+        busy_s = min(window_s, units.ns_to_s(cpu.total_busy))
+        idle_s = window_s - busy_s
+        joules = (busy_s * cpu.spec.active_watts
+                  + idle_s * cpu.spec.idle_watts)
+        return ComponentEnergy(name=name, busy_seconds=busy_s,
+                               idle_seconds=idle_s, joules=joules)
+
+    def total_joules(self, window_start_ns: int = 0) -> float:
+        """Machine-wide energy since ``window_start_ns``."""
+        return sum(self.component_energy(n, window_start_ns).joules
+                   for n in self._cpus)
+
+    def breakdown(self, window_start_ns: int = 0) -> List[ComponentEnergy]:
+        """Per-component energy records, sorted by name."""
+        return [self.component_energy(n, window_start_ns)
+                for n in sorted(self._cpus)]

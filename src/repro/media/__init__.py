@@ -1,0 +1,27 @@
+"""Media substrate: synthetic MPEG streams and decode cost models."""
+
+from repro.media.decoder import (
+    DECODE_EXPANSION,
+    SoftwareDecoder,
+    SoftwareDecoderConfig,
+)
+from repro.media.mpeg import (
+    Frame,
+    FrameType,
+    GopConfig,
+    GopGenerator,
+    StreamConfig,
+    chunk_schedule,
+)
+
+__all__ = [
+    "DECODE_EXPANSION",
+    "Frame",
+    "FrameType",
+    "GopConfig",
+    "GopGenerator",
+    "SoftwareDecoder",
+    "SoftwareDecoderConfig",
+    "StreamConfig",
+    "chunk_schedule",
+]

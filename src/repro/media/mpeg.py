@@ -1,0 +1,143 @@
+"""Synthetic MPEG-like stream model.
+
+The TiVoPC Streamer "extracts the payload that contains the three types
+of MPEG frames: the I-frame, P-frame and B-frame" (Section 6.2).  The
+evaluation, however, deliberately streams the movie as fixed 1 kB chunks
+at a constant bit rate ("for demonstration purposes only, we did not
+send packets at video frame boundaries").  This module provides both
+views:
+
+* :class:`GopGenerator` — a deterministic group-of-pictures sequence
+  (IBBPBBPBB...) with realistic relative frame sizes, used by decoder
+  placement experiments and the examples;
+* :func:`chunk_schedule` — the evaluation's workload: 1 kB chunks every
+  5 ms for a 200 kB/s stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro import units
+from repro.errors import ReproError
+
+__all__ = ["FrameType", "Frame", "GopConfig", "GopGenerator",
+           "StreamConfig", "chunk_schedule"]
+
+
+class FrameType:
+    """MPEG frame-type tags (Section 6.2's I/P/B)."""
+
+    I = "I"
+    P = "P"
+    B = "B"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One compressed video frame."""
+
+    index: int
+    frame_type: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ReproError(f"frame size must be positive: {self.size_bytes}")
+
+
+@dataclass(frozen=True)
+class GopConfig:
+    """Group-of-pictures shape and frame-size statistics.
+
+    Defaults approximate SD MPEG-2 at ~1.6 Mbit/s: a 9-frame GOP with
+    I-frames ~4x P and P ~2.5x B.
+    """
+
+    gop_length: int = 9
+    p_spacing: int = 3                 # IBBPBBPBB
+    i_mean_bytes: int = 24_000
+    p_mean_bytes: int = 6_000
+    b_mean_bytes: int = 2_400
+    size_cv: float = 0.18              # coefficient of variation
+
+    def __post_init__(self) -> None:
+        if self.gop_length < 1 or self.p_spacing < 1:
+            raise ReproError("GOP shape parameters must be positive")
+        if not 0 <= self.size_cv < 1:
+            raise ReproError(f"size_cv out of range: {self.size_cv}")
+
+
+class GopGenerator:
+    """Generates an endless IBBP... frame sequence."""
+
+    def __init__(self, config: Optional[GopConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.config = config or GopConfig()
+        self.rng = rng or random.Random(0)
+        self._index = 0
+
+    def frame_type_at(self, index: int) -> str:
+        """Frame type (I/P/B) at a position in the GOP pattern."""
+        position = index % self.config.gop_length
+        if position == 0:
+            return FrameType.I
+        if position % self.config.p_spacing == 0:
+            return FrameType.P
+        return FrameType.B
+
+    def _draw_size(self, mean: int) -> int:
+        sigma = mean * self.config.size_cv
+        return max(64, round(self.rng.gauss(mean, sigma)))
+
+    def next_frame(self) -> Frame:
+        """Generate the next frame in sequence."""
+        cfg = self.config
+        ftype = self.frame_type_at(self._index)
+        mean = {FrameType.I: cfg.i_mean_bytes,
+                FrameType.P: cfg.p_mean_bytes,
+                FrameType.B: cfg.b_mean_bytes}[ftype]
+        frame = Frame(index=self._index, frame_type=ftype,
+                      size_bytes=self._draw_size(mean))
+        self._index += 1
+        return frame
+
+    def frames(self, count: int) -> List[Frame]:
+        """The next ``count`` frames."""
+        return [self.next_frame() for _ in range(count)]
+
+    def gop(self) -> List[Frame]:
+        """One full group of pictures starting at the next I-frame."""
+        while self._index % self.config.gop_length != 0:
+            self._index += 1
+        return self.frames(self.config.gop_length)
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """The evaluation workload: 1 kB chunks every 5 ms (200 kB/s)."""
+
+    chunk_bytes: int = 1024
+    interval_ns: int = 5 * units.MS
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0 or self.interval_ns <= 0:
+            raise ReproError("stream parameters must be positive")
+
+    @property
+    def bytes_per_second(self) -> float:
+        """The stream's data rate."""
+        return self.chunk_bytes * units.SECOND / self.interval_ns
+
+
+def chunk_schedule(config: StreamConfig, duration_ns: int
+                   ) -> Iterator[int]:
+    """Nominal send times (ns) of every chunk within ``duration_ns``."""
+    if duration_ns < 0:
+        raise ReproError(f"negative duration: {duration_ns}")
+    t = config.interval_ns
+    while t <= duration_ns:
+        yield t
+        t += config.interval_ns

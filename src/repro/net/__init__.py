@@ -1,0 +1,28 @@
+"""Network substrate: packets, links and a gigabit switch.
+
+Substitutes for the testbed's physical network (gigabit Ethernet through
+a Dell PowerConnect 6024 switch); see DESIGN.md §2.
+"""
+
+from repro.net.devport import DeviceNetPort, DevicePortBinding
+from repro.net.link import Link, LinkSpec
+from repro.net.packet import (
+    Address,
+    ETH_IP_UDP_HEADER_BYTES,
+    MAX_UDP_PAYLOAD,
+    Packet,
+)
+from repro.net.switch import Switch, SwitchSpec
+
+__all__ = [
+    "Address",
+    "DeviceNetPort",
+    "DevicePortBinding",
+    "ETH_IP_UDP_HEADER_BYTES",
+    "Link",
+    "LinkSpec",
+    "MAX_UDP_PAYLOAD",
+    "Packet",
+    "Switch",
+    "SwitchSpec",
+]

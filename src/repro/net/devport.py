@@ -1,0 +1,178 @@
+"""Device-side network port.
+
+The paper's "Smart Disk" is a programmable NIC exporting a block device
+whose NFS client runs entirely in device firmware (Section 6.1), and the
+offloaded Video Server's Broadcast Offcode likewise transmits straight
+from the NIC.  Both need networking that never enters the host kernel.
+
+:class:`DeviceNetPort` gives any programmable device its own station on
+a switch: outbound packets are charged to the *device* CPU and put on
+the wire directly; inbound packets are demultiplexed by destination port
+into device-local queues.  No host CPU time, no host memory crossing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.errors import SocketError
+from repro.hw.device import ProgrammableDevice
+from repro.net.packet import Address, Packet
+from repro.net.switch import Switch
+from repro.sim.engine import Event
+from repro.sim.resources import Store
+
+__all__ = ["DeviceNetPort", "DevicePortBinding", "NicPortMux"]
+
+# Firmware cost to build / parse a datagram on the device CPU.
+_TX_FIRMWARE_NS = 2_000
+_RX_FIRMWARE_NS = 1_800
+
+
+class DevicePortBinding:
+    """One bound port on a device port: a queue of received packets."""
+
+    def __init__(self, port: "DeviceNetPort", number: int) -> None:
+        self.port = port
+        self.number = number
+        self.queue: Store = Store(port.device.sim, capacity=512,
+                                  drop_when_full=True)
+
+    @property
+    def address(self) -> Address:
+        """The (station, port) address of this binding."""
+        return Address(self.port.station, self.number)
+
+    def recv(self) -> Generator[Event, None, Packet]:
+        """Device process: wait for the next datagram on this port."""
+        packet: Packet = yield self.queue.get()
+        return packet
+
+
+class DeviceNetPort:
+    """A switch station owned by device firmware rather than a host."""
+
+    def __init__(self, device: ProgrammableDevice, switch: Switch,
+                 station: str) -> None:
+        self.device = device
+        self.station = station
+        self._bindings: Dict[int, DevicePortBinding] = {}
+        self._next_ephemeral = 40000
+        self._transmit = switch.attach(station, self._on_wire_rx)
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.rx_unclaimed = 0
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind(self, port: Optional[int] = None) -> DevicePortBinding:
+        """Bind a firmware port (ephemeral when ``port`` is None)."""
+        if port is None:
+            while self._next_ephemeral in self._bindings:
+                self._next_ephemeral += 1
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+        if port in self._bindings:
+            raise SocketError(f"{self.station}: device port {port} bound")
+        binding = DevicePortBinding(self, port)
+        self._bindings[port] = binding
+        return binding
+
+    # -- transmit ----------------------------------------------------------------
+
+    def send(self, src_port: int, dst: Address, size_bytes: int, payload=None
+             ) -> Generator[Event, None, Packet]:
+        """Device process: transmit a datagram from device memory."""
+        packet = Packet(src=Address(self.station, src_port), dst=dst,
+                        size_bytes=size_bytes, payload=payload)
+        packet.sent_at_ns = self.device.sim.now
+        yield from self.device.run_on_device(_TX_FIRMWARE_NS,
+                                             context="devnet-tx")
+        self.tx_packets += 1
+        self._transmit(packet)
+        return packet
+
+    # -- receive -----------------------------------------------------------------
+
+    def _on_wire_rx(self, packet: Packet) -> None:
+        self.device.sim.spawn(self._rx_proc(packet),
+                              name=f"{self.station}-devrx")
+
+    def _rx_proc(self, packet: Packet) -> Generator[Event, None, None]:
+        yield from self.device.run_on_device(_RX_FIRMWARE_NS,
+                                             context="devnet-rx")
+        packet.received_at_ns = self.device.sim.now
+        binding = self._bindings.get(packet.dst.port)
+        if binding is None:
+            self.rx_unclaimed += 1
+            return
+        self.rx_packets += 1
+        yield binding.queue.put(packet)
+
+
+class NicPortMux:
+    """Firmware port table on a *host-attached* NIC.
+
+    A host's NIC is already a switch station under the host's name; when
+    Offcodes run *on* that NIC they must share the wire with the host
+    stack.  The mux installs itself as the NIC's receive-offload handler
+    and claims exactly the ports its Offcodes bound — every other frame
+    falls through to the normal host path (DMA + interrupt), so the host
+    keeps working undisturbed.  Outbound frames leave straight from
+    device memory (``transmit_from_device``), never crossing the bus.
+
+    This is the networking arrangement of the paper's offloaded Video
+    Server: the Broadcast and File Offcodes at the 3Com NIC talk UDP/NFS
+    through the same port the host uses, with zero host involvement.
+
+    The interface matches :class:`DeviceNetPort` (``bind``, ``send``,
+    ``device``) so :class:`repro.hostos.nfs.DeviceNfsClient` works over
+    either.
+    """
+
+    def __init__(self, nic, station: str) -> None:
+        """``station`` is the host's switch name (frames the mux sends
+        carry it as their source host)."""
+        self.nic = nic
+        self.device = nic
+        self.station = station
+        self._bindings: Dict[int, DevicePortBinding] = {}
+        self._next_ephemeral = 45000
+        self.tx_packets = 0
+        self.rx_packets = 0
+        nic.install_rx_offload(self._rx_handler)
+
+    def bind(self, port: Optional[int] = None) -> DevicePortBinding:
+        """Claim a port on the shared NIC for firmware consumption."""
+        if port is None:
+            while self._next_ephemeral in self._bindings:
+                self._next_ephemeral += 1
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+        if port in self._bindings:
+            raise SocketError(
+                f"{self.station}: firmware port {port} already bound")
+        binding = DevicePortBinding(self, port)
+        self._bindings[port] = binding
+        return binding
+
+    def send(self, src_port: int, dst: Address, size_bytes: int, payload=None
+             ) -> Generator[Event, None, Packet]:
+        """Device process: transmit from device memory, host untouched."""
+        packet = Packet(src=Address(self.station, src_port), dst=dst,
+                        size_bytes=size_bytes, payload=payload)
+        packet.sent_at_ns = self.nic.sim.now
+        yield from self.nic.transmit_from_device(packet)
+        self.tx_packets += 1
+        return packet
+
+    def _rx_handler(self, packet: Packet):
+        """NIC rx-offload hook: claim bound ports, decline the rest."""
+        binding = self._bindings.get(packet.dst.port)
+        if binding is None:
+            return False
+            yield  # pragma: no cover - makes this a generator function
+        packet.received_at_ns = self.nic.sim.now
+        self.rx_packets += 1
+        yield binding.queue.put(packet)
+        return True

@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` — clock + event queue
+* :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Process`,
+  :class:`~repro.sim.engine.Timeout`, :class:`~repro.sim.engine.AnyOf`,
+  :class:`~repro.sim.engine.AllOf`
+* :class:`~repro.sim.resources.Store`, :class:`~repro.sim.resources.Resource`,
+  :class:`~repro.sim.resources.Container`
+* :class:`~repro.sim.rng.RandomStreams`
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,428 @@
+"""Discrete-event simulation engine.
+
+This is the substrate everything else runs on: hardware models, the
+simulated OS, the network, and HYDRA offcodes all execute as *processes*
+on a :class:`Simulator`.
+
+The design follows the classic event/process style (cf. SimPy) but is
+implemented from scratch so the reproduction has no external runtime
+dependencies:
+
+* Time is integer nanoseconds (see :mod:`repro.units`).
+* An :class:`Event` is a one-shot occurrence that processes can wait on.
+* A :class:`Process` wraps a Python generator.  The generator *yields*
+  events; the engine resumes it with the event's value (or throws the
+  event's exception into it) when the event triggers.
+* The event queue is a binary heap keyed by ``(time, priority, seq)``;
+  ``seq`` is a monotonically increasing tie-breaker, which makes runs
+  fully deterministic.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def pinger(sim, log):
+...     for _ in range(3):
+...         yield sim.timeout(10)
+...         log.append(sim.now)
+>>> log = []
+>>> _ = sim.spawn(pinger(sim, log))
+>>> sim.run()
+>>> log
+[10, 20, 30]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import InterruptError, ProcessError, SchedulingError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "PENDING",
+    "TRIGGERED",
+    "PROCESSED",
+]
+
+# Event lifecycle states.
+PENDING = "pending"        # not yet triggered
+TRIGGERED = "triggered"    # value set, sitting in the queue
+PROCESSED = "processed"    # callbacks have run
+
+# Scheduling priorities: URGENT events (process resumptions caused by
+# interrupts) run before NORMAL events at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that carries a value or an exception.
+
+    Events start *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    schedules them on the simulator; once the simulator pops them their
+    callbacks run and they become *processed*.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._state = PENDING
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise ProcessError("event value inspected before trigger")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if self._state == PENDING:
+            raise ProcessError("event value inspected before trigger")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully after ``delay`` ns."""
+        self._trigger(True, value, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception after ``delay`` ns."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._trigger(False, exc, delay)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, delay: int,
+                 priority: int = NORMAL) -> None:
+        if self._state != PENDING:
+            raise ProcessError(f"event {self!r} triggered twice")
+        self._ok = ok
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._push(self, delay, priority)
+
+    # -- internals -------------------------------------------------------
+
+    def _process(self) -> None:
+        """Run callbacks.  Called by the simulator main loop only."""
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._trigger(True, value, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process at spawn time."""
+
+    def __init__(self, sim: "Simulator", delay: int = 0) -> None:
+        super().__init__(sim)
+        self._trigger(True, None, delay)
+
+
+class Process(Event):
+    """A running generator.  The process *is* an event: it triggers when
+    the generator returns (success, value = return value) or raises
+    (failure).  Other processes can therefore ``yield proc`` to join it.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None,
+                 delay: int = 0) -> None:
+        if not hasattr(generator, "throw"):
+            raise ProcessError(
+                f"spawn() requires a generator, got {type(generator).__name__}"
+                " (did you forget to call the process function?)")
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        start = Initialize(sim, delay)
+        start.callbacks.append(self._resume)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process.
+
+        The process must currently be waiting on an event; the pending wait
+        is abandoned (its eventual trigger is ignored by this process).
+        """
+        if not self.alive:
+            raise ProcessError(f"cannot interrupt finished process {self.name}")
+        if self._waiting_on is None:
+            raise ProcessError(
+                f"cannot interrupt {self.name}: it is not waiting")
+        waited = self._waiting_on
+        try:
+            waited.callbacks.remove(self._resume)
+        except ValueError:
+            pass
+        self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup._trigger(False, InterruptError(cause), 0, priority=URGENT)
+        wakeup.defused = True  # interrupts are delivered, never escape
+        wakeup.callbacks.append(self._resume)
+
+    # -- engine plumbing -------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                # Mark the failure as handled: it is being delivered.
+                event.defused = True  # type: ignore[attr-defined]
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self._trigger(True, stop.value, 0)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self._trigger(False, exc, 0)
+            return
+        self.sim._active_process = None
+
+        if not isinstance(target, Event):
+            raise ProcessError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes may only yield Event instances")
+        if target.sim is not self.sim:
+            raise ProcessError(
+                f"process {self.name!r} yielded an event from another simulator")
+        self._waiting_on = target
+        if target._state == PROCESSED:
+            # Already-processed events resume the waiter immediately (at the
+            # current timestamp) rather than deadlocking.
+            relay = Event(self.sim)
+            relay._trigger(target._ok, target._value, 0, priority=URGENT)
+            if not target._ok:
+                relay.defused = True  # type: ignore[attr-defined]
+            relay.callbacks.append(self._resume)
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name} state={self._state}>"
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ProcessError("condition mixes events from simulators")
+        self._pending = sum(1 for e in self.events if not e.processed)
+        if self._check_now():
+            return
+        for event in self.events:
+            if not event.processed:
+                event.callbacks.append(self._on_child)
+
+    def _check_now(self) -> bool:
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event triggers.
+
+    Value is a dict of the already-processed successful children.  If the
+    first child to trigger failed, the condition fails with its exception.
+    """
+
+    def _check_now(self) -> bool:
+        for event in self.events:
+            if event.processed:
+                if event._ok:
+                    self.succeed(self._collect())
+                else:
+                    event.defused = True  # type: ignore[attr-defined]
+                    self.fail(event._value)
+                return True
+        if not self.events:
+            self.succeed({})
+            return True
+        return False
+
+    def _on_child(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if event._ok:
+            self.succeed(self._collect())
+        else:
+            event.defused = True  # type: ignore[attr-defined]
+            self.fail(event._value)
+
+
+class AllOf(_Condition):
+    """Triggers once all child events have triggered successfully."""
+
+    def _check_now(self) -> bool:
+        for event in self.events:
+            if event.processed and not event._ok:
+                event.defused = True  # type: ignore[attr-defined]
+                self.fail(event._value)
+                return True
+        if self._pending == 0:
+            self.succeed(self._collect())
+            return True
+        return False
+
+    def _on_child(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event._ok:
+            event.defused = True  # type: ignore[attr-defined]
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The discrete-event engine: a clock plus an ordered event queue."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        # Optional structured tracing (see repro.sim.trace.Tracer).
+        self.tracer = None
+
+    # -- factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def spawn(self, generator: Generator[Event, Any, Any],
+              name: Optional[str] = None, delay: int = 0) -> Process:
+        """Start ``generator`` as a process after ``delay`` ns."""
+        return Process(self, generator, name=name, delay=delay)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    # -- queue -------------------------------------------------------------
+
+    def _push(self, event: Event, delay: int, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay} ns in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, priority, self._seq, event))
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SchedulingError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SchedulingError("event queue corrupted: time went backwards")
+        self.now = when
+        event._process()
+        # A failure nobody waited on must not pass silently.
+        if event._ok is False and not getattr(event, "defused", False) \
+                and not event.callbacks:
+            raise event._value
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains, or until simulated time ``until``.
+
+        With ``until``, the clock is advanced to exactly ``until`` even if
+        the last event fires earlier, so back-to-back ``run`` calls compose.
+        """
+        if until is not None and until < self.now:
+            raise SchedulingError(
+                f"run(until={until}) is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until_event(self, event: Event, limit: Optional[int] = None) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception on failure, or :class:`ProcessError`
+        if the queue drains (or ``limit`` passes) first.
+        """
+        while not event.processed:
+            if not self._queue:
+                raise ProcessError("simulation deadlocked waiting for event")
+            if limit is not None and self._queue[0][0] > limit:
+                raise ProcessError(
+                    f"event not processed by t={limit} (now={self.now})")
+            self.step()
+        if event._ok:
+            return event._value
+        raise event._value

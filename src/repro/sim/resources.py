@@ -1,0 +1,230 @@
+"""Synchronisation primitives for simulated processes.
+
+Three primitives cover every need in the reproduction:
+
+* :class:`Store` — an optionally-bounded FIFO of items; the message-queue
+  building block used for NIC rings, socket buffers and channel endpoints.
+* :class:`Resource` — a counted semaphore with FIFO fairness; models CPUs,
+  DMA engines and bus ownership.
+* :class:`Container` — a continuous level (bytes of buffer space, joules).
+
+All ``get``/``put``/``request`` operations return events, so processes wait
+with ``yield``:
+
+>>> from repro.sim.engine import Simulator
+>>> sim = Simulator()
+>>> store = Store(sim)
+>>> def producer(sim, store):
+...     yield sim.timeout(5)
+...     yield store.put("hello")
+>>> def consumer(sim, store, out):
+...     item = yield store.get()
+...     out.append((sim.now, item))
+>>> out = []
+>>> _ = sim.spawn(producer(sim, store)); _ = sim.spawn(consumer(sim, store, out))
+>>> sim.run(); out
+[(5, 'hello')]
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Store", "Resource", "Container"]
+
+
+class Store:
+    """FIFO item store with optional capacity.
+
+    ``put`` blocks when the store holds ``capacity`` items; ``get`` blocks
+    when it is empty.  With ``drop_when_full=True`` a put on a full store
+    succeeds immediately with value ``False`` and the item is dropped —
+    this models *unreliable* channels and fixed-size hardware rings.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 drop_when_full: bool = False) -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"store capacity must be positive: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.drop_when_full = drop_when_full
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+        self.dropped = 0      # items discarded because the store was full
+        self.total_put = 0    # successful puts (excludes drops)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def full(self) -> bool:
+        """True when a bounded store holds ``capacity`` items."""
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event triggers when accepted.
+
+        For drop-mode stores the event always triggers immediately with
+        True (stored) or False (dropped).
+        """
+        event = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.total_put += 1
+            event.succeed(True)
+        elif not self.full:
+            self.items.append(item)
+            self.total_put += 1
+            event.succeed(True)
+        elif self.drop_when_full:
+            self.dropped += 1
+            event.succeed(False)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Remove and return the oldest item (event value = item)."""
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putter()
+        elif self._putters:
+            putter, item = self._putters.popleft()
+            putter.succeed(True)
+            self.total_put += 1
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.full:
+            putter, item = self._putters.popleft()
+            self.items.append(item)
+            self.total_put += 1
+            putter.succeed(True)
+
+
+class Resource:
+    """Counted semaphore with FIFO fairness.
+
+    ``request()`` returns an event that triggers when a slot is granted;
+    the holder must later call ``release()`` exactly once per grant.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # occupancy bookkeeping for utilization statistics
+        self._busy_since: Optional[int] = None
+        self.busy_time = 0
+
+    @property
+    def available(self) -> int:
+        """Unclaimed slots."""
+        return self.capacity - self.in_use
+
+    def request(self) -> Event:
+        """Event that triggers when a slot is granted (FIFO)."""
+        event = Event(self.sim)
+        if self.in_use < self.capacity:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a slot; the oldest waiter (if any) gets it directly."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; in_use is unchanged.
+            self._grant(self._waiters.popleft(), already_counted=True)
+        else:
+            self.in_use -= 1
+            if self.in_use == 0 and self._busy_since is not None:
+                self.busy_time += self.sim.now - self._busy_since
+                self._busy_since = None
+
+    def _grant(self, event: Event, already_counted: bool = False) -> None:
+        if not already_counted:
+            if self.in_use == 0:
+                self._busy_since = self.sim.now
+            self.in_use += 1
+        event.succeed(self)
+
+    def utilization(self, since: int = 0) -> float:
+        """Fraction of wall time with at least one holder, from ``since``."""
+        window = self.sim.now - since
+        if window <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - max(self._busy_since, since)
+        return min(1.0, busy / window)
+
+
+class Container:
+    """A continuous level between 0 and ``capacity`` (bytes, joules, ...)."""
+
+    def __init__(self, sim: Simulator, capacity: float, init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"container capacity must be positive: {capacity}")
+        if not 0 <= init <= capacity:
+            raise SimulationError(f"init level {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = init
+        self._getters: Deque[tuple] = deque()  # (event, amount)
+        self._putters: Deque[tuple] = deque()
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks (event-pends) above capacity."""
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive: {amount}")
+        event = Event(self.sim)
+        if self.level + amount <= self.capacity:
+            self.level += amount
+            event.succeed()
+            self._drain_getters()
+        else:
+            self._putters.append((event, amount))
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Take ``amount``; blocks (event-pends) below the level."""
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive: {amount}")
+        event = Event(self.sim)
+        if amount <= self.level:
+            self.level -= amount
+            event.succeed()
+            self._drain_putters()
+        else:
+            self._getters.append((event, amount))
+        return event
+
+    def _drain_getters(self) -> None:
+        while self._getters and self._getters[0][1] <= self.level:
+            event, amount = self._getters.popleft()
+            self.level -= amount
+            event.succeed()
+
+    def _drain_putters(self) -> None:
+        while self._putters and self.level + self._putters[0][1] <= self.capacity:
+            event, amount = self._putters.popleft()
+            self.level += amount
+            event.succeed()

@@ -1,0 +1,42 @@
+"""Deterministic random-number streams.
+
+Every stochastic model component (OS noise, link jitter, workload
+generators) draws from its own named stream derived from one root seed.
+Named derivation means adding a new consumer never perturbs the draws of
+existing ones, so experiments stay reproducible as the model grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A factory of independent named :class:`random.Random` streams."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        The stream's seed is a stable hash of ``(root_seed, name)`` so the
+        same name always yields the same sequence for a given root seed.
+        """
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.root_seed}:{name}".encode("utf-8")).digest()
+            seed = int.from_bytes(digest[:8], "big")
+            self._streams[name] = random.Random(seed)
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RandomStreams":
+        """A child factory whose streams are independent of the parent's."""
+        digest = hashlib.sha256(
+            f"{self.root_seed}/fork:{name}".encode("utf-8")).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))

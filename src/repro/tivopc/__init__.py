@@ -1,0 +1,67 @@
+"""TiVoPC — the paper's case-study application (Section 6).
+
+Components (:mod:`~repro.tivopc.components`), the experimental testbed
+(:mod:`~repro.tivopc.testbed`), the three Video Server variants
+(:mod:`~repro.tivopc.server`), the client variants
+(:mod:`~repro.tivopc.client`) and the measurement machinery
+(:mod:`~repro.tivopc.metrics`).
+"""
+
+from repro.tivopc.client import (
+    MeasurementClient,
+    OffloadedClient,
+    USER_CLIENT_COSTS,
+    UserClientCosts,
+    UserSpaceClient,
+)
+from repro.tivopc.components import (
+    BroadcastOffcode,
+    DecoderOffcode,
+    DisplayOffcode,
+    FileOffcode,
+    StreamerOffcode,
+)
+from repro.tivopc.gui import GuiController
+from repro.tivopc.metrics import (
+    JitterCollector,
+    PeriodicSampler,
+    SummaryStats,
+    cdf_points,
+    histogram,
+)
+from repro.tivopc.server import (
+    OffloadedServer,
+    SENDFILE_COSTS,
+    SIMPLE_COSTS,
+    SendfileServer,
+    SimpleServer,
+)
+from repro.tivopc.testbed import Host, MEDIA_PORT, Testbed, TestbedConfig
+
+__all__ = [
+    "BroadcastOffcode",
+    "DecoderOffcode",
+    "DisplayOffcode",
+    "FileOffcode",
+    "GuiController",
+    "Host",
+    "JitterCollector",
+    "MEDIA_PORT",
+    "MeasurementClient",
+    "OffloadedClient",
+    "OffloadedServer",
+    "PeriodicSampler",
+    "SENDFILE_COSTS",
+    "SIMPLE_COSTS",
+    "SendfileServer",
+    "SimpleServer",
+    "StreamerOffcode",
+    "SummaryStats",
+    "Testbed",
+    "TestbedConfig",
+    "USER_CLIENT_COSTS",
+    "UserClientCosts",
+    "UserSpaceClient",
+    "cdf_points",
+    "histogram",
+]

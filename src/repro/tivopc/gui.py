@@ -1,0 +1,79 @@
+"""The GUI — TiVoPC's one host-resident component (Table 1).
+
+"The user interface contains a viewing area ... and several controls
+used to rewind, pause and play the movie."  It is the only component
+*not* implemented as an Offcode: it stays a host process, and "a simple
+Link constraint is sufficient between both Streamers and the GUI since
+only control information passes between them" — its channels carry a
+handful of small Calls, not media.
+
+:class:`GuiController` wraps a deployed :class:`OffloadedClient`: it
+opens a control channel to the network Streamer (transparent proxy over
+the IStreamer interface) and exposes the appliance verbs.  Pause
+freezes the viewing path while recording continues; play resumes live
+viewing; rewind replays the recording from the Smart Disk.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import HydraError
+from repro.core.channel import Buffering, ChannelConfig
+from repro.core.proxy import Proxy
+from repro.sim.engine import Event
+from repro.tivopc.client import OffloadedClient
+from repro.tivopc.components import ISTREAMER
+
+__all__ = ["GuiController"]
+
+
+class GuiController:
+    """Host-side user controls for the offloaded TiVoPC client."""
+
+    def __init__(self, client: OffloadedClient) -> None:
+        self.client = client
+        self.runtime = client.runtime
+        self._proxy: Optional[Proxy] = None
+        self.control_calls = 0
+
+    def _streamer_proxy(self) -> Proxy:
+        """Lazily open the GUI <-> Streamer control channel (Link-class:
+        low-volume control traffic, copying semantics are fine)."""
+        if self._proxy is None:
+            if self.client.net_streamer is None:
+                raise HydraError(
+                    "client not deployed yet; run the simulator past "
+                    "OffloadedClient.start() first")
+            channel = self.runtime.create_channel(
+                ChannelConfig(buffering=Buffering.COPY,
+                              label="tivopc.gui-control"))
+            self.runtime.connect_offcode(channel, self.client.net_streamer)
+            self._proxy = Proxy(ISTREAMER, channel,
+                                channel.creator_endpoint)
+        return self._proxy
+
+    # -- the appliance verbs -----------------------------------------------------
+
+    def pause(self) -> Generator[Event, None, bool]:
+        """Freeze the picture; the recording keeps growing."""
+        result = yield from self._streamer_proxy().Pause()
+        self.control_calls += 1
+        return result
+
+    def play(self) -> Generator[Event, None, bool]:
+        """Resume live viewing."""
+        result = yield from self._streamer_proxy().Resume()
+        self.control_calls += 1
+        return result
+
+    def is_paused(self) -> Generator[Event, None, bool]:
+        """Query the Streamer's viewing state."""
+        result = yield from self._streamer_proxy().IsPaused()
+        self.control_calls += 1
+        return result
+
+    def rewind(self) -> None:
+        """Replay the stored stream from the Smart Disk."""
+        self.control_calls += 1
+        self.client.start_playback()

@@ -1,0 +1,81 @@
+"""Units and conversion helpers.
+
+Simulated time is kept as **integer nanoseconds** throughout the library;
+integers keep event ordering exact and runs reproducible.  Data sizes are
+plain integer bytes.  This module centralises the conversion constants so
+that magic numbers never appear at call sites.
+"""
+
+from __future__ import annotations
+
+# --- time -----------------------------------------------------------------
+
+NS = 1
+US = 1_000 * NS
+MS = 1_000 * US
+SECOND = 1_000 * MS
+MINUTE = 60 * SECOND
+
+# --- data sizes -----------------------------------------------------------
+
+BYTE = 1
+KB = 1_024 * BYTE
+MB = 1_024 * KB
+GB = 1_024 * MB
+
+# --- frequencies / rates ----------------------------------------------------
+
+KHZ = 1_000
+MHZ = 1_000 * KHZ
+GHZ = 1_000 * MHZ
+
+KBPS = 1_000          # bits per second
+MBPS = 1_000 * KBPS
+GBPS = 1_000 * MBPS
+
+
+def ns_to_s(ns: int) -> float:
+    """Convert integer nanoseconds to floating-point seconds."""
+    return ns / SECOND
+
+
+def ns_to_ms(ns: int) -> float:
+    """Convert integer nanoseconds to floating-point milliseconds."""
+    return ns / MS
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert integer nanoseconds to floating-point microseconds."""
+    return ns / US
+
+
+def s_to_ns(seconds: float) -> int:
+    """Convert seconds to integer nanoseconds (rounded)."""
+    return round(seconds * SECOND)
+
+
+def ms_to_ns(ms: float) -> int:
+    """Convert milliseconds to integer nanoseconds (rounded)."""
+    return round(ms * MS)
+
+
+def us_to_ns(us: float) -> int:
+    """Convert microseconds to integer nanoseconds (rounded)."""
+    return round(us * US)
+
+
+def cycles_to_ns(cycles: int, hz: float) -> int:
+    """Time taken by ``cycles`` clock cycles on a ``hz``-frequency clock."""
+    if hz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {hz}")
+    return round(cycles * SECOND / hz)
+
+
+def transfer_time_ns(size_bytes: int, bits_per_second: float) -> int:
+    """Serialization delay for ``size_bytes`` over a ``bits_per_second`` link."""
+    if bits_per_second <= 0:
+        raise ValueError(
+            f"bit rate must be positive, got {bits_per_second}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return round(size_bytes * 8 * SECOND / bits_per_second)

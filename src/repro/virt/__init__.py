@@ -1,0 +1,5 @@
+"""Virtualization future work (paper Section 8): VM packet demux."""
+
+from repro.virt.vmm import GuestVm, OffloadedVmm, SoftwareVmm
+
+__all__ = ["GuestVm", "OffloadedVmm", "SoftwareVmm"]

@@ -1,0 +1,111 @@
+"""Tests for the evaluation CLI and filesystem ODF libraries."""
+
+import pytest
+
+from repro.errors import ODFError
+from repro.core.odf import OdfLibrary
+from repro.evaluation.cli import ARTIFACTS, main
+
+ODF_TEXT = """
+<offcode>
+  <package>
+    <bindname>disk.Widget</bindname>
+    <GUID>555</GUID>
+    <interface><include>"/offcodes/widget.wsdl"</include></interface>
+  </package>
+  <targets>
+    <device-class><name>network</name></device-class>
+  </targets>
+</offcode>
+"""
+
+WSDL_TEXT = """
+<definitions name="Widget" guid="555">
+  <portType name="IWidget">
+    <operation name="Frob" result="xsd:int"/>
+  </portType>
+</definitions>
+"""
+
+
+# -- OdfLibrary.load_directory -------------------------------------------------------
+
+def test_load_directory(tmp_path):
+    (tmp_path / "widget.odf").write_text(ODF_TEXT)
+    (tmp_path / "widget.wsdl").write_text(WSDL_TEXT)
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "sub" / "other.wsdl").write_text(
+        WSDL_TEXT.replace("Widget", "Other").replace("555", "556"))
+    (tmp_path / "ignored.txt").write_text("not a manifest")
+
+    library = OdfLibrary()
+    count = library.load_directory(tmp_path)
+    assert count == 3
+    document = library.load("/offcodes/widget.odf")
+    assert document.bindname == "disk.Widget"
+    assert document.interfaces[0].name == "IWidget"
+    assert library.load_wsdl("/offcodes/sub/other.wsdl").name == "IOther"
+
+
+def test_load_directory_custom_prefix(tmp_path):
+    (tmp_path / "w.wsdl").write_text(WSDL_TEXT)
+    library = OdfLibrary()
+    library.load_directory(tmp_path, prefix="/vendor")
+    assert library.load_wsdl("/vendor/w.wsdl").name == "IWidget"
+
+
+def test_load_directory_rejects_missing(tmp_path):
+    library = OdfLibrary()
+    with pytest.raises(ODFError):
+        library.load_directory(tmp_path / "nope")
+
+
+def test_shipped_offcode_library_loads():
+    """The repository's examples/offcodes directory is a valid library
+    (the paper's Figure-4 manifests as real files)."""
+    import pathlib
+    directory = (pathlib.Path(__file__).parent.parent
+                 / "examples" / "offcodes")
+    library = OdfLibrary()
+    assert library.load_directory(directory) == 4
+    closure = library.load_closure("/offcodes/socket.odf")
+    assert [d.bindname for d in closure] == [
+        "hydra.net.utils.Socket", "hydra.net.utils.Checksum"]
+    socket = closure[0]
+    assert socket.guid.value == 7070714
+    assert socket.interfaces[0].name == "ISocket"
+    assert socket.imports[0].reference.value == "Pull"
+
+
+# -- CLI --------------------------------------------------------------------------------
+
+def test_cli_fig1(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "GHz/Gbps" in out
+    assert "65536" in out
+
+
+def test_cli_ilp(capsys):
+    assert main(["ilp", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "greedy suboptimal" in out
+
+
+def test_cli_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        main(["figure-nope"])
+
+
+def test_cli_artifact_registry_complete():
+    assert set(ARTIFACTS) == {"fig1", "fig9", "fig10", "table2",
+                              "table3", "table4", "ilp", "power",
+                              "sweeps"}
+
+
+@pytest.mark.slow
+def test_cli_table2_short_run(capsys):
+    assert main(["table2", "--seconds", "8", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "offloaded" in out

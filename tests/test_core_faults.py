@@ -1,0 +1,187 @@
+"""Failure-injection tests: crashing Offcodes, hierarchical teardown.
+
+The paper's Resource Management unit exists for exactly this: "robust
+clean-up of child resources in the case of a failing parent object"
+(Section 4).  These tests deploy Offcodes, crash them, and verify the
+device memory, channels and registrations all come back.
+"""
+
+import pytest
+
+from repro.errors import ChannelClosedError, HydraError
+from repro.core import HydraRuntime, InterfaceSpec, MethodSpec, Offcode
+from repro.core.odf import DeviceClassFilter, OdfDocument, OdfImport
+from repro.core.guid import Guid
+from repro.core.layout.constraints import ConstraintType
+from repro.core.offcode import OffcodeState
+from repro.hw import DeviceClass, Machine
+from repro.sim import Simulator
+
+IWORK = InterfaceSpec.from_methods(
+    "IWork", (MethodSpec("Poke", params=(), result="int"),))
+
+
+class WorkerOffcode(Offcode):
+    BINDNAME = "fault.Worker"
+    INTERFACES = (IWORK,)
+
+    def __init__(self, site):
+        super().__init__(site)
+        self.loop_iterations = 0
+
+    def Poke(self):
+        return 1
+
+    def main(self):
+        while True:
+            yield self.site.sim.timeout(1_000_000)
+            self.loop_iterations += 1
+
+
+class HelperOffcode(Offcode):
+    BINDNAME = "fault.Helper"
+    INTERFACES = ()
+
+
+WORKER_GUID = Guid(9001)
+HELPER_GUID = Guid(9002)
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator()
+    machine = Machine(sim)
+    machine.add_nic()
+    runtime = HydraRuntime(machine)
+    helper = OdfDocument(
+        bindname="fault.Helper", guid=HELPER_GUID,
+        targets=[DeviceClassFilter(DeviceClass.NETWORK)],
+        image_bytes=8 * 1024)
+    worker = OdfDocument(
+        bindname="fault.Worker", guid=WORKER_GUID, interfaces=[IWORK],
+        imports=[OdfImport(file="/helper.odf", bindname="fault.Helper",
+                           guid=HELPER_GUID,
+                           reference=ConstraintType.GANG)],
+        targets=[DeviceClassFilter(DeviceClass.NETWORK)],
+        image_bytes=16 * 1024)
+    runtime.library.register("/helper.odf", helper)
+    runtime.library.register("/worker.odf", worker)
+    runtime.depot.register(WORKER_GUID, WorkerOffcode)
+    runtime.depot.register(HELPER_GUID, HelperOffcode)
+    return sim, machine, runtime
+
+
+def deploy(sim, runtime, path="/worker.odf"):
+    out = {}
+
+    def app():
+        out["result"] = yield from runtime.create_offcode(path)
+
+    sim.run_until_event(sim.spawn(app()))
+    return out["result"]
+
+
+def test_fail_offcode_releases_device_memory(world):
+    sim, machine, runtime = world
+    nic = machine.device("nic0")
+    before = nic.memory.used_bytes
+    deploy(sim, runtime)
+    during = nic.memory.used_bytes
+    assert during > before
+
+    errors = runtime.fail_offcode("fault.Worker")
+    assert errors == []
+    # The worker's image is gone; the helper's remains resident.
+    helper_image = runtime.resources.lookup("fault.Helper/image")
+    assert helper_image.payload is None or not helper_image.freed
+    assert before < nic.memory.used_bytes < during
+
+
+def test_fail_offcode_closes_channels(world):
+    sim, machine, runtime = world
+    result = deploy(sim, runtime)
+    oob = result.offcode.oob_channel
+    proxy_channel = result.channel
+    runtime.fail_offcode("fault.Worker")
+    assert oob.closed
+    assert proxy_channel.closed
+
+    def late_call():
+        yield from proxy_channel.creator_endpoint.write("x", 10)
+
+    sim.spawn(late_call())
+    with pytest.raises(ChannelClosedError):
+        sim.run()
+
+
+def test_fail_offcode_stops_thread_of_control(world):
+    sim, machine, runtime = world
+    result = deploy(sim, runtime)
+    worker = result.offcode
+    sim.run(until=sim.now + 10_000_000)
+    iterations = worker.loop_iterations
+    assert iterations > 5
+    runtime.fail_offcode("fault.Worker")
+    assert worker.state == OffcodeState.FAILED
+    sim.run(until=sim.now + 10_000_000)
+    assert worker.loop_iterations == iterations
+
+
+def test_fail_offcode_deregisters(world):
+    sim, machine, runtime = world
+    deploy(sim, runtime)
+    runtime.fail_offcode("fault.Worker")
+    assert runtime.locate("fault.Worker") is None
+    assert runtime.device_runtime("nic0").find("fault.Worker") is None
+    with pytest.raises(HydraError):
+        runtime.get_offcode("fault.Worker")
+    # A sibling from the same deployment is untouched.
+    assert runtime.locate("fault.Helper") is not None
+
+
+def test_redeploy_after_failure(world):
+    sim, machine, runtime = world
+    deploy(sim, runtime)
+    runtime.fail_offcode("fault.Worker")
+    result = deploy(sim, runtime)
+    assert result.offcode.state == OffcodeState.RUNNING
+    assert "fault.Helper" in result.report.reused
+    out = {}
+
+    def poke():
+        out["v"] = yield from result.proxy.Poke()
+
+    sim.run_until_event(sim.spawn(poke()))
+    assert out["v"] == 1
+
+
+def test_stop_offcode_frees_device_memory(world):
+    sim, machine, runtime = world
+    nic = machine.device("nic0")
+    before = nic.memory.used_bytes
+    deploy(sim, runtime)
+
+    def stop():
+        yield from runtime.stop_offcode("fault.Worker")
+        yield from runtime.stop_offcode("fault.Helper")
+
+    sim.run_until_event(sim.spawn(stop()))
+    assert nic.memory.used_bytes == before
+
+
+def test_finalizer_errors_are_collected_not_raised(world):
+    sim, machine, runtime = world
+    result = deploy(sim, runtime)
+    node = runtime.resources.lookup("fault.Worker")
+
+    def bad_finalizer():
+        raise RuntimeError("teardown bug")
+
+    runtime.resources.track("fault.Worker/bad", parent=node,
+                            finalizer=bad_finalizer)
+    errors = runtime.fail_offcode("fault.Worker")
+    assert len(errors) == 1
+    assert isinstance(errors[0], RuntimeError)
+    # Cleanup still completed.
+    assert runtime.locate("fault.Worker") is None
+    assert result.offcode.oob_channel.closed

@@ -1,0 +1,137 @@
+"""Tests for GUIDs, interface specs and WSDL round-tripping."""
+
+import pytest
+
+from repro.errors import HydraError, InterfaceError
+from repro.core.guid import Guid, guid_from_name, parse_guid
+from repro.core.interfaces import IOFFCODE, InterfaceSpec, MethodSpec
+from repro.core.wsdl import parse_wsdl, write_wsdl
+
+
+# -- guid -------------------------------------------------------------------------
+
+def test_guid_equality_and_hash():
+    assert Guid(7070714) == Guid(7070714)
+    assert Guid(1) != Guid(2)
+    assert len({Guid(5), Guid(5), Guid(6)}) == 2
+
+
+def test_guid_immutable():
+    guid = Guid(12)
+    with pytest.raises(AttributeError):
+        guid.value = 13
+
+
+def test_guid_range_validation():
+    with pytest.raises(HydraError):
+        Guid(0)
+    with pytest.raises(HydraError):
+        Guid(-5)
+    with pytest.raises(HydraError):
+        Guid(1 << 64)
+    with pytest.raises(HydraError):
+        Guid("7")  # type: ignore[arg-type]
+
+
+def test_guid_from_name_stable_and_distinct():
+    assert guid_from_name("hydra.Heap") == guid_from_name("hydra.Heap")
+    assert guid_from_name("hydra.Heap") != guid_from_name("hydra.Runtime")
+    with pytest.raises(HydraError):
+        guid_from_name("")
+
+
+def test_parse_guid_formats():
+    assert parse_guid("7070714") == Guid(7070714)
+    assert parse_guid("0x10") == Guid(16)
+    assert parse_guid(42) == Guid(42)
+    assert parse_guid(Guid(9)) == Guid(9)
+    with pytest.raises(HydraError):
+        parse_guid("not-a-number")
+    with pytest.raises(HydraError):
+        parse_guid("  ")
+
+
+# -- interfaces ----------------------------------------------------------------------
+
+def test_method_spec_validation():
+    with pytest.raises(InterfaceError):
+        MethodSpec("not valid")
+    with pytest.raises(InterfaceError):
+        MethodSpec("m", params=(("x", "quaternion"),))
+    with pytest.raises(InterfaceError):
+        MethodSpec("m", result="quaternion")
+    with pytest.raises(InterfaceError):
+        MethodSpec("m", result="int", one_way=True)
+
+
+def test_interface_method_lookup():
+    spec = InterfaceSpec.from_methods(
+        "ICache", (MethodSpec("Get", params=(("key", "string"),),
+                              result="any"),))
+    assert spec.method("Get").arity == 1
+    assert spec.has_method("Get")
+    assert not spec.has_method("Put")
+    with pytest.raises(InterfaceError):
+        spec.method("Put")
+
+
+def test_interface_duplicate_methods_rejected():
+    with pytest.raises(InterfaceError):
+        InterfaceSpec.from_methods(
+            "I", (MethodSpec("A"), MethodSpec("A")))
+
+
+def test_ioffcode_shape():
+    assert IOFFCODE.has_method("Initialize")
+    assert IOFFCODE.has_method("StartOffcode")
+    assert IOFFCODE.has_method("StopOffcode")
+    assert IOFFCODE.method("QueryInterface").arity == 1
+
+
+# -- WSDL -----------------------------------------------------------------------------
+
+SAMPLE_WSDL = """
+<definitions name="Checksum" guid="6060843">
+  <portType name="IChecksum">
+    <operation name="Compute" result="xsd:int">
+      <part name="data" type="xsd:bytes"/>
+    </operation>
+    <operation name="Reset" oneWay="true"/>
+  </portType>
+</definitions>
+"""
+
+
+def test_parse_wsdl_sample():
+    spec = parse_wsdl(SAMPLE_WSDL)
+    assert spec.name == "IChecksum"
+    assert spec.guid.value == 6060843
+    compute = spec.method("Compute")
+    assert compute.params == (("data", "bytes"),)
+    assert compute.result == "int"
+    assert spec.method("Reset").one_way
+
+
+def test_wsdl_roundtrip():
+    spec = parse_wsdl(SAMPLE_WSDL)
+    again = parse_wsdl(write_wsdl(spec))
+    assert again == spec
+
+
+def test_wsdl_guid_derived_when_absent():
+    spec = parse_wsdl("""<definitions><portType name="IFoo">
+        <operation name="Bar"/></portType></definitions>""")
+    assert spec.guid == guid_from_name("IFoo")
+
+
+def test_wsdl_errors():
+    with pytest.raises(InterfaceError):
+        parse_wsdl("<not-definitions/>")
+    with pytest.raises(InterfaceError):
+        parse_wsdl("<definitions/>")
+    with pytest.raises(InterfaceError):
+        parse_wsdl("not xml at all <<<")
+    with pytest.raises(InterfaceError):
+        parse_wsdl("""<definitions><portType name="I">
+            <operation name="M" result="xsd:matrix"/>
+            </portType></definitions>""")

@@ -1,0 +1,344 @@
+"""Tests for resource tree, memory manager, rings, depot and loaders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    ChannelError,
+    DepotError,
+    LoaderError,
+    ResourceError,
+)
+from repro.core.depot import OffcodeDepot
+from repro.core.guid import Guid
+from repro.core.loader import (
+    DeviceLinkedLoader,
+    HostLinkedLoader,
+    LoaderRegistry,
+    OffcodeImage,
+    compile_for_target,
+)
+from repro.core.memory import MemoryManager, PAGE_BYTES
+from repro.core.odf import OdfDocument
+from repro.core.offcode import Offcode
+from repro.core.resources import ResourceNode, ResourceTree
+from repro.core.rings import Descriptor, DescriptorRing
+from repro.core.sites import HostSite
+from repro.hw import DeviceClass, Machine
+from repro.sim import Simulator
+
+
+# -- resource tree -----------------------------------------------------------------
+
+def test_resource_tree_cascade_free():
+    tree = ResourceTree()
+    freed = []
+    app = tree.track("app", finalizer=lambda: freed.append("app"))
+    tree.track("offcode", parent=app,
+               finalizer=lambda: freed.append("offcode"))
+    tree.track("channel", parent=app,
+               finalizer=lambda: freed.append("channel"))
+    assert tree.live_count == 3
+    errors = tree.release("app")
+    assert errors == []
+    # Children freed before the parent, newest first.
+    assert freed == ["channel", "offcode", "app"]
+    assert tree.live_count == 0
+
+
+def test_resource_tree_failing_finalizer_does_not_leak_siblings():
+    tree = ResourceTree()
+    freed = []
+    app = tree.track("app")
+
+    def boom():
+        raise RuntimeError("bad destructor")
+
+    tree.track("bad", parent=app, finalizer=boom)
+    tree.track("good", parent=app, finalizer=lambda: freed.append("good"))
+    errors = tree.release("app")
+    assert len(errors) == 1
+    assert freed == ["good"]
+
+
+def test_resource_tree_double_free_rejected():
+    tree = ResourceTree()
+    tree.track("x")
+    tree.release("x")
+    with pytest.raises(ResourceError):
+        tree.release("x")
+
+
+def test_resource_tree_duplicate_name_rejected():
+    tree = ResourceTree()
+    tree.track("x")
+    with pytest.raises(ResourceError):
+        tree.track("x")
+    tree.release("x")
+    tree.track("x")  # reusable after free
+
+
+def test_resource_node_reparent_rejected():
+    a = ResourceNode("a")
+    b = ResourceNode("b")
+    child = ResourceNode("c")
+    a.add_child(child)
+    with pytest.raises(ResourceError):
+        b.add_child(child)
+
+
+# -- memory manager ---------------------------------------------------------------------
+
+def test_pin_charges_per_page_and_counts():
+    sim = Simulator()
+    machine = Machine(sim)
+    memory = MemoryManager(machine)
+    out = {}
+
+    def proc():
+        out["region"] = yield from memory.pin(0, 3 * PAGE_BYTES)
+
+    sim.run_until_event(sim.spawn(proc()))
+    assert out["region"].pages == 3
+    assert memory.pinned_bytes == 3 * PAGE_BYTES
+    assert machine.cpu.total_busy == 3 * 600
+
+
+def test_repin_is_refcounted_and_free():
+    sim = Simulator()
+    machine = Machine(sim)
+    memory = MemoryManager(machine)
+    regions = []
+
+    def proc():
+        regions.append((yield from memory.pin(0, PAGE_BYTES)))
+        regions.append((yield from memory.pin(0, PAGE_BYTES)))
+
+    sim.run_until_event(sim.spawn(proc()))
+    assert regions[0] is regions[1]
+    assert regions[0].refcount == 2
+    assert memory.pin_operations == 1
+    memory.unpin(regions[0])
+    assert memory.pinned_bytes == PAGE_BYTES
+    memory.unpin(regions[0])
+    assert memory.pinned_bytes == 0
+    with pytest.raises(ResourceError):
+        memory.unpin(regions[0])
+
+
+def test_pin_straddling_page_boundary():
+    sim = Simulator()
+    memory = MemoryManager(Machine(sim))
+    out = {}
+
+    def proc():
+        out["r"] = yield from memory.pin(PAGE_BYTES - 10, 20)
+
+    sim.run_until_event(sim.spawn(proc()))
+    assert out["r"].pages == 2
+
+
+# -- descriptor rings ----------------------------------------------------------------------
+
+def test_ring_fifo_order():
+    ring = DescriptorRing(4)
+    for i in range(3):
+        assert ring.post(Descriptor(address=i, length=10))
+    assert ring.consume().address == 0
+    assert ring.consume().address == 1
+    assert ring.occupancy == 1
+
+
+def test_ring_full_rejects_and_counts():
+    ring = DescriptorRing(2)
+    assert ring.post(Descriptor(0, 1))
+    assert ring.post(Descriptor(1, 1))
+    assert not ring.post(Descriptor(2, 1))
+    assert ring.rejected == 1
+    assert ring.full
+
+
+def test_ring_empty_consume_rejected():
+    ring = DescriptorRing(2)
+    with pytest.raises(ChannelError):
+        ring.consume()
+    assert ring.peek() is None
+
+
+def test_ring_wraps_around():
+    ring = DescriptorRing(2)
+    for i in range(10):
+        assert ring.post(Descriptor(i, 1))
+        assert ring.consume().address == i
+    assert ring.posted == 10 and ring.consumed == 10
+
+
+@given(ops=st.lists(st.sampled_from(["post", "consume"]),
+                    min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_property_ring_occupancy_invariant(ops):
+    ring = DescriptorRing(8)
+    model = []
+    for i, op in enumerate(ops):
+        if op == "post":
+            accepted = ring.post(Descriptor(i, 1))
+            if len(model) < 8:
+                assert accepted
+                model.append(i)
+            else:
+                assert not accepted
+        elif model:
+            assert ring.consume().address == model.pop(0)
+        assert ring.occupancy == len(model)
+        assert 0 <= ring.occupancy <= ring.capacity
+
+
+# -- depot --------------------------------------------------------------------------------
+
+class PortableOffcode(Offcode):
+    BINDNAME = "test.Portable"
+
+
+class NicOffcode(Offcode):
+    BINDNAME = "test.Portable"
+
+
+def test_depot_specificity():
+    depot = OffcodeDepot()
+    guid = Guid(77)
+    depot.register(guid, PortableOffcode)
+    depot.register(guid, NicOffcode, device_class=DeviceClass.NETWORK)
+    assert depot.lookup(guid, DeviceClass.NETWORK).implementation \
+        is NicOffcode
+    assert depot.lookup(guid, DeviceClass.HOST).implementation \
+        is PortableOffcode
+    assert depot.has(guid, DeviceClass.STORAGE)   # portable covers it
+
+
+def test_depot_missing_lookup():
+    depot = OffcodeDepot()
+    with pytest.raises(DepotError):
+        depot.lookup(Guid(1), DeviceClass.HOST)
+    assert not depot.has(Guid(1), DeviceClass.HOST)
+
+
+def test_depot_duplicate_rejected():
+    depot = OffcodeDepot()
+    depot.register(Guid(1), PortableOffcode)
+    with pytest.raises(DepotError):
+        depot.register(Guid(1), NicOffcode)
+
+
+def test_depot_rejects_non_offcode_class():
+    depot = OffcodeDepot()
+    with pytest.raises(DepotError):
+        depot.register(Guid(1), dict)
+    with pytest.raises(DepotError):
+        depot.register(Guid(2), "not callable")
+
+
+def test_depot_accepts_factory():
+    depot = OffcodeDepot()
+    depot.register(Guid(1), lambda site: PortableOffcode(site))
+    entry = depot.lookup(Guid(1), DeviceClass.HOST)
+    assert callable(entry.implementation)
+
+
+# -- loaders -------------------------------------------------------------------------------
+
+def loader_world():
+    sim = Simulator()
+    machine = Machine(sim)
+    nic = machine.add_nic()
+    return sim, machine, nic, HostSite(machine)
+
+
+def test_image_from_odf_pseudo_offcodes_shrink_symbols():
+    odf = OdfDocument(bindname="x", guid=Guid(1), image_bytes=32 * 1024)
+    with_pseudo = OffcodeImage.from_odf(odf, uses_pseudo_offcodes=True)
+    without = OffcodeImage.from_odf(odf, uses_pseudo_offcodes=False)
+    assert with_pseudo.undefined_symbols < without.undefined_symbols
+
+
+def test_host_linked_load_places_image():
+    sim, machine, nic, host = loader_world()
+    image = OffcodeImage(bindname="x", size_bytes=64 * 1024,
+                         undefined_symbols=10)
+    out = {}
+
+    def proc():
+        out["report"] = yield from HostLinkedLoader().load(image, nic, host)
+
+    sim.run_until_event(sim.spawn(proc()))
+    report = out["report"]
+    assert report.strategy == "host-linked"
+    assert report.region.size >= 64 * 1024
+    assert nic.memory.used_bytes >= 64 * 1024
+    assert report.host_cpu_ns > 0
+    assert report.elapsed_ns > 0
+
+
+def test_device_linked_costs_device_more():
+    results = {}
+    for loader in (HostLinkedLoader(), DeviceLinkedLoader()):
+        sim, machine, nic, host = loader_world()
+        image = OffcodeImage(bindname="x", size_bytes=64 * 1024,
+                             undefined_symbols=30)
+        out = {}
+
+        def proc(loader=loader, nic=nic, host=host):
+            out["report"] = yield from loader.load(image, nic, host)
+
+        sim.run_until_event(sim.spawn(proc()))
+        results[loader.strategy] = out["report"]
+    host_linked = results["host-linked"]
+    device_linked = results["device-linked"]
+    assert device_linked.device_cpu_ns > host_linked.device_cpu_ns
+    assert device_linked.transferred_bytes > host_linked.transferred_bytes
+    assert host_linked.host_cpu_ns > device_linked.host_cpu_ns
+
+
+def test_load_fails_when_device_memory_exhausted():
+    sim, machine, nic, host = loader_world()
+    image = OffcodeImage(bindname="x",
+                         size_bytes=nic.spec.local_memory_bytes * 2,
+                         undefined_symbols=1)
+
+    def proc():
+        yield from HostLinkedLoader().load(image, nic, host)
+
+    sim.spawn(proc())
+    with pytest.raises(LoaderError):
+        sim.run()
+
+
+def test_compile_only_for_source_form():
+    sim, machine, nic, host = loader_world()
+    source = OdfDocument(bindname="s", guid=Guid(1), form="source",
+                         image_bytes=8 * 1024)
+    binary = OdfDocument(bindname="b", guid=Guid(2), form="object",
+                         image_bytes=8 * 1024)
+    out = {}
+
+    def proc():
+        busy0 = machine.cpu.total_busy
+        out["img_src"] = yield from compile_for_target(source, host)
+        out["compile_cost"] = machine.cpu.total_busy - busy0
+        busy1 = machine.cpu.total_busy
+        out["img_bin"] = yield from compile_for_target(binary, host)
+        out["nocompile_cost"] = machine.cpu.total_busy - busy1
+
+    sim.run_until_event(sim.spawn(proc()))
+    assert out["img_src"].compiled
+    assert not out["img_bin"].compiled
+    assert out["compile_cost"] > 0
+    assert out["nocompile_cost"] == 0
+
+
+def test_loader_registry_per_device_override():
+    registry = LoaderRegistry()
+    assert registry.loader_for("nic0").strategy == "host-linked"
+    registry.register("nic0", DeviceLinkedLoader())
+    assert registry.loader_for("nic0").strategy == "device-linked"
+    assert registry.loader_for("gpu0").strategy == "host-linked"

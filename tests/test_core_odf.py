@@ -1,0 +1,225 @@
+"""Tests for ODF parsing, serialization and the ODF library."""
+
+import pytest
+
+from repro.errors import ODFError
+from repro.core.guid import Guid, guid_from_name
+from repro.core.interfaces import InterfaceSpec, MethodSpec
+from repro.core.layout.constraints import ConstraintType
+from repro.core.odf import (
+    DeviceClassFilter,
+    OdfDocument,
+    OdfImport,
+    OdfLibrary,
+    SoftwareRequirements,
+)
+from repro.hw.device import DeviceClass, DeviceSpec
+
+# The paper's Figure 4, as well-formed XML.
+FIGURE4_ODF = """
+<offcode>
+  <package>
+    <bindname>hydra.net.utils.Socket</bindname>
+    <GUID>7070714</GUID>
+    <interface>
+      <include>"/offcodes/socket.wsdl"</include>
+    </interface>
+  </package>
+  <sw-env>
+    <import>
+      <file>"/offcodes/checksum.odf"</file>
+      <bindname>hydra.net.utils.Checksum</bindname>
+      <reference type="Pull" pri="0"/>
+      <GUID>6060843</GUID>
+    </import>
+  </sw-env>
+  <targets>
+    <device-class id="0x0001">
+      <name>Network Device</name>
+      <bus>pci</bus>
+      <mac>ethernet</mac>
+      <vendor>3COM</vendor>
+    </device-class>
+  </targets>
+</offcode>
+"""
+
+SOCKET_WSDL = """
+<definitions name="Socket" guid="7070714">
+  <portType name="ISocket">
+    <operation name="Send" result="xsd:int">
+      <part name="data" type="xsd:bytes"/>
+    </operation>
+  </portType>
+</definitions>
+"""
+
+
+def library_with_figure4():
+    library = OdfLibrary()
+    library.register_wsdl("/offcodes/socket.wsdl", SOCKET_WSDL)
+    library.register("/offcodes/socket.odf", FIGURE4_ODF)
+    checksum = OdfDocument(
+        bindname="hydra.net.utils.Checksum", guid=Guid(6060843),
+        targets=[DeviceClassFilter(device_class=DeviceClass.NETWORK)])
+    library.register("/offcodes/checksum.odf", checksum)
+    return library
+
+
+def test_parse_figure4():
+    library = library_with_figure4()
+    document = library.load("/offcodes/socket.odf")
+    assert document.bindname == "hydra.net.utils.Socket"
+    assert document.guid == Guid(7070714)
+    assert len(document.interfaces) == 1
+    assert document.interfaces[0].name == "ISocket"
+    assert len(document.imports) == 1
+    imp = document.imports[0]
+    assert imp.bindname == "hydra.net.utils.Checksum"
+    assert imp.reference is ConstraintType.PULL
+    assert imp.guid == Guid(6060843)
+    assert len(document.targets) == 1
+    target = document.targets[0]
+    assert target.device_class == DeviceClass.NETWORK
+    assert target.bus == "pci"
+    assert target.vendor == "3COM"
+    assert target.class_id == 1
+    assert not document.host_capable
+
+
+def test_odf_roundtrip_through_xml():
+    library = library_with_figure4()
+    document = library.load("/offcodes/socket.odf")
+    xml = document.to_xml()
+    again = OdfDocument.from_xml(xml)
+    assert again.bindname == document.bindname
+    assert again.guid == document.guid
+    assert [i.bindname for i in again.imports] == ["hydra.net.utils.Checksum"]
+    assert again.imports[0].reference is ConstraintType.PULL
+    assert again.targets[0].device_class == DeviceClass.NETWORK
+    assert again.interfaces[0].name == "ISocket"
+
+
+def test_odf_guid_defaults_from_bindname():
+    document = OdfDocument.from_xml(
+        "<offcode><package><bindname>a.b</bindname></package></offcode>")
+    assert document.guid == guid_from_name("a.b")
+
+
+def test_odf_validation_errors():
+    with pytest.raises(ODFError):
+        OdfDocument.from_xml("<wrong/>")
+    with pytest.raises(ODFError):
+        OdfDocument.from_xml("<offcode/>")          # no package
+    with pytest.raises(ODFError):
+        OdfDocument.from_xml("not xml <<<")
+    with pytest.raises(ODFError):
+        OdfDocument.from_xml(
+            "<offcode><package><bindname>x</bindname></package>"
+            "<targets><device-class><name>toaster</name></device-class>"
+            "</targets></offcode>")
+
+
+def test_odf_duplicate_imports_rejected():
+    imp = OdfImport(file="/a.odf", bindname="peer", guid=Guid(1))
+    with pytest.raises(ODFError):
+        OdfDocument(bindname="x", guid=Guid(2), imports=[imp, imp])
+
+
+def test_device_class_filter_matching():
+    from repro.hw.bus import Bus
+    from repro.hw.device import ProgrammableDevice
+    from repro.sim import Simulator
+    sim = Simulator()
+    device = ProgrammableDevice(
+        sim, DeviceSpec(name="n", device_class=DeviceClass.NETWORK,
+                        bus_type="pci", mac_type="ethernet", vendor="3COM"),
+        Bus(sim))
+    assert DeviceClassFilter(DeviceClass.NETWORK).matches(device)
+    assert DeviceClassFilter(DeviceClass.NETWORK, vendor="3com"
+                             ).matches(device)
+    assert not DeviceClassFilter(DeviceClass.STORAGE).matches(device)
+    assert not DeviceClassFilter(DeviceClass.NETWORK, bus="usb"
+                                 ).matches(device)
+    with pytest.raises(ODFError):
+        DeviceClassFilter("toaster")
+
+
+def test_software_requirements():
+    spec = DeviceSpec(name="n", device_class=DeviceClass.NETWORK,
+                      local_memory_bytes=1 << 20, has_mmu=False,
+                      has_dynamic_alloc=True,
+                      features=frozenset({"scatter-gather"}))
+    assert SoftwareRequirements().satisfied_by(spec)
+    assert SoftwareRequirements(min_memory_bytes=1 << 19).satisfied_by(spec)
+    assert not SoftwareRequirements(min_memory_bytes=1 << 21
+                                    ).satisfied_by(spec)
+    assert not SoftwareRequirements(needs_mmu=True).satisfied_by(spec)
+    assert SoftwareRequirements(
+        features=("scatter-gather",)).satisfied_by(spec)
+    assert not SoftwareRequirements(features=("mpeg-assist",)
+                                    ).satisfied_by(spec)
+
+
+def test_requirements_roundtrip():
+    document = OdfDocument(
+        bindname="x", guid=Guid(5),
+        requirements=SoftwareRequirements(
+            min_memory_bytes=4096, needs_dynamic_alloc=True,
+            features=("scatter-gather",)))
+    again = OdfDocument.from_xml(document.to_xml())
+    assert again.requirements == document.requirements
+
+
+# -- library ------------------------------------------------------------------------
+
+def test_library_duplicate_registration_rejected():
+    library = OdfLibrary()
+    library.register("/a.odf", OdfDocument(bindname="a", guid=Guid(1)))
+    with pytest.raises(ODFError):
+        library.register("/a.odf", OdfDocument(bindname="a", guid=Guid(1)))
+
+
+def test_library_missing_path():
+    library = OdfLibrary()
+    with pytest.raises(ODFError):
+        library.load("/missing.odf")
+    with pytest.raises(ODFError):
+        library.load_wsdl("/missing.wsdl")
+
+
+def test_library_path_normalization():
+    library = OdfLibrary()
+    library.register("a.odf", OdfDocument(bindname="a", guid=Guid(1)))
+    assert library.load("/a.odf").bindname == "a"
+    assert library.load('"a.odf"').bindname == "a"
+
+
+def test_library_closure_order_and_dedup():
+    library = OdfLibrary()
+    c = OdfDocument(bindname="c", guid=Guid(3))
+    b = OdfDocument(bindname="b", guid=Guid(2), imports=[
+        OdfImport(file="/c.odf", bindname="c", guid=Guid(3))])
+    a = OdfDocument(bindname="a", guid=Guid(1), imports=[
+        OdfImport(file="/b.odf", bindname="b", guid=Guid(2)),
+        OdfImport(file="/c.odf", bindname="c", guid=Guid(3),
+                  reference=ConstraintType.GANG),
+    ])
+    for path, doc in (("/a.odf", a), ("/b.odf", b), ("/c.odf", c)):
+        library.register(path, doc)
+    closure = library.load_closure("/a.odf")
+    assert [d.bindname for d in closure] == ["a", "b", "c"]
+
+
+def test_library_closure_handles_cycles():
+    library = OdfLibrary()
+    a = OdfDocument(bindname="a", guid=Guid(1), imports=[
+        OdfImport(file="/b.odf", bindname="b", guid=Guid(2),
+                  reference=ConstraintType.GANG)])
+    b = OdfDocument(bindname="b", guid=Guid(2), imports=[
+        OdfImport(file="/a.odf", bindname="a", guid=Guid(1),
+                  reference=ConstraintType.GANG)])
+    library.register("/a.odf", a)
+    library.register("/b.odf", b)
+    closure = library.load_closure("/a.odf")
+    assert sorted(d.bindname for d in closure) == ["a", "b"]

@@ -1,0 +1,180 @@
+"""Tests for the traffic-aware crossing minimizer (Section 6.3 automated).
+
+The headline test: given only *traffic volumes* (compressed stream in,
+20x-expanded raw frames out), the minimizer derives the paper's Figure-8
+placement — including "the Decoder goes to the GPU" — without any Pull
+constraint saying so.
+"""
+
+import pytest
+
+from repro.errors import InfeasibleLayoutError, LayoutError
+from repro.core.layout import (
+    ConstraintType,
+    HOST_INDEX,
+    LayoutGraph,
+    MinimizeBusCrossings,
+    TrafficMatrix,
+    crossing_cost,
+)
+
+DEVICES = ("host", "nic", "gpu", "disk")
+
+
+def client_graph(decoder_everywhere=True):
+    graph = LayoutGraph(DEVICES)
+    graph.add_node("net-streamer", [False, True, False, False])
+    graph.add_node("disk-streamer", [True, False, False, True])
+    decoder_compat = [True, True, True, False] if decoder_everywhere \
+        else [True, False, True, False]
+    graph.add_node("decoder", decoder_compat)
+    graph.add_node("display", [False, False, True, False])
+    graph.add_node("file", [True, False, False, True])
+    return graph
+
+
+def tivopc_traffic():
+    traffic = TrafficMatrix()
+    traffic.set_flow("net-streamer", "decoder", 1.0)       # stream copy
+    traffic.set_flow("net-streamer", "disk-streamer", 1.0)  # record copy
+    traffic.set_flow("decoder", "display", 20.0)            # raw frames!
+    traffic.set_flow("disk-streamer", "file", 1.0)          # store
+    return traffic
+
+
+# -- crossing cost primitive -----------------------------------------------------------
+
+def test_crossing_cost_cases():
+    assert crossing_cost(1, 1) == 0
+    assert crossing_cost(HOST_INDEX, 2) == 1
+    assert crossing_cost(1, 2, peer_to_peer=True) == 1
+    assert crossing_cost(1, 2, peer_to_peer=False) == 2
+    assert crossing_cost(HOST_INDEX, HOST_INDEX) == 0
+
+
+def test_traffic_matrix_validation():
+    traffic = TrafficMatrix()
+    with pytest.raises(LayoutError):
+        traffic.set_flow("a", "a", 1.0)
+    with pytest.raises(LayoutError):
+        traffic.set_flow("a", "b", -1.0)
+    traffic.set_flow("a", "b", 0.0)
+    assert traffic.edges() == []       # zero flows are dropped
+
+
+# -- the Figure-8 derivation -------------------------------------------------------------
+
+def test_traffic_alone_derives_figure8_placement():
+    """No Pull(decoder, display) needed: the 20x raw-frame traffic pins
+    the decoder to the GPU, exactly the paper's reasoning."""
+    graph = client_graph()
+    solver = MinimizeBusCrossings(tivopc_traffic())
+    result = solver.solve(graph)
+    assert result.placement["decoder"] == DEVICES.index("gpu")
+    assert result.placement["display"] == DEVICES.index("gpu")
+    assert result.placement["net-streamer"] == DEVICES.index("nic")
+    assert result.placement["disk-streamer"] == DEVICES.index("disk")
+    assert result.placement["file"] == DEVICES.index("disk")
+    # Total: stream crosses NIC->GPU once and NIC->disk once.
+    assert -result.objective == pytest.approx(2.0)
+
+
+def test_decoder_at_nic_would_cost_more():
+    graph = client_graph()
+    solver = MinimizeBusCrossings(tivopc_traffic())
+    figure8 = solver.solve(graph).placement
+    at_nic = dict(figure8, decoder=DEVICES.index("nic"))
+    assert solver.cost_of(graph, at_nic) > solver.cost_of(graph, figure8)
+    # Specifically: 20 units of raw frames now cross NIC -> GPU.
+    assert solver.cost_of(graph, at_nic) == pytest.approx(21.0)
+
+
+def test_legacy_pci_pulls_the_pipeline_back_toward_the_host():
+    """On a non-peer-to-peer bus, device-to-device hops cost double —
+    and the optimizer responds by moving the recording path back to the
+    host (nic->host costs 1, nic->disk costs 2).  Legacy buses erode
+    the offload win; exactly the paper's PCIe footnote, inverted."""
+    graph = client_graph()
+    pcie = MinimizeBusCrossings(tivopc_traffic(), peer_to_peer=True)
+    pci = MinimizeBusCrossings(tivopc_traffic(), peer_to_peer=False)
+    result_pcie = pcie.solve(graph)
+    result_pci = pci.solve(graph)
+    assert -result_pcie.objective == pytest.approx(2.0)
+    assert -result_pci.objective == pytest.approx(3.0)
+    # The decoder still must sit with the display (raw frames dominate)...
+    assert result_pci.placement["decoder"] == DEVICES.index("gpu")
+    # ...but the disk-side components retreated to the host.
+    assert result_pci.placement["disk-streamer"] == HOST_INDEX
+    assert result_pci.placement["file"] == HOST_INDEX
+    # The Figure-8 placement evaluated under PCI costs 4 (2 staged hops).
+    assert pci.cost_of(graph, result_pcie.placement) == pytest.approx(4.0)
+
+
+def test_constraints_still_respected():
+    graph = client_graph()
+    graph.constrain("decoder", "display", ConstraintType.PULL)
+    graph.constrain("net-streamer", "disk-streamer", ConstraintType.GANG)
+    result = MinimizeBusCrossings(tivopc_traffic()).solve(graph)
+    assert graph.check_placement(result.placement) == []
+    assert result.placement["decoder"] == DEVICES.index("gpu")
+
+
+def test_tie_broken_toward_offloading():
+    """With zero traffic everywhere, the minimizer still prefers the
+    most-offloaded placement (the paper's secondary goal)."""
+    graph = LayoutGraph(("host", "nic"))
+    graph.add_node("a", [True, True])
+    graph.add_node("b", [True, True])
+    result = MinimizeBusCrossings(TrafficMatrix()).solve(graph)
+    assert result.placement == {"a": 1, "b": 1}
+
+
+def test_heavy_mutual_traffic_colocates_despite_offload_preference():
+    """Two chatty Offcodes co-locate even when splitting would offload
+    both — crossings dominate."""
+    graph = LayoutGraph(("host", "nic", "gpu"))
+    graph.add_node("producer", [True, True, False])
+    graph.add_node("consumer", [True, False, True])
+    traffic = TrafficMatrix()
+    traffic.set_flow("producer", "consumer", 100.0)
+    result = MinimizeBusCrossings(traffic).solve(graph)
+    # Only co-location option is the host.
+    assert result.placement == {"producer": HOST_INDEX,
+                                "consumer": HOST_INDEX}
+
+
+def test_infeasible_constraints_raise():
+    graph = LayoutGraph(("host", "nic", "gpu"))
+    graph.add_node("a", [False, True, False])
+    graph.add_node("b", [False, False, True])
+    graph.constrain("a", "b", ConstraintType.PULL)
+    with pytest.raises(InfeasibleLayoutError):
+        MinimizeBusCrossings(TrafficMatrix()).solve(graph)
+
+
+def test_unknown_traffic_node_rejected():
+    graph = client_graph()
+    traffic = TrafficMatrix()
+    traffic.set_flow("ghost", "decoder", 1.0)
+    with pytest.raises(LayoutError):
+        MinimizeBusCrossings(traffic).solve(graph)
+
+
+def test_predicted_crossings_match_simulated_tivopc():
+    """The model's per-packet crossing count (2: NIC->GPU + NIC->disk)
+    matches what the simulated offloaded client actually does on its
+    bus (one multicast transaction recorded as two logical crossings)."""
+    from repro.tivopc import OffloadedClient, OffloadedServer, Testbed, \
+        TestbedConfig
+    testbed = Testbed(TestbedConfig(seed=2))
+    testbed.start()
+    client = OffloadedClient(testbed)
+    client.start()
+    OffloadedServer(testbed).start()
+    testbed.run(4)
+    bus = testbed.client.machine.bus
+    chunks = client.chunks_received
+    data_crossings = (bus.crossings.get(("nic0", "gpu0"), 0)
+                      + bus.crossings.get(("nic0", "disk0"), 0))
+    assert chunks > 500
+    assert data_crossings == pytest.approx(2 * chunks, abs=4)

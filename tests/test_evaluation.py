@@ -1,0 +1,124 @@
+"""Tests for the evaluation harness: Fig-1 model, drivers, reporting."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation import (
+    TcpCostModel,
+    fig1_series,
+    format_table,
+    render_fig1,
+    render_ilp_ablation,
+    run_fig1,
+    run_ilp_vs_greedy,
+    run_server_scenario,
+)
+from repro.evaluation.experiments import (
+    PAPER_TABLE2,
+    run_client_scenario,
+)
+
+
+# -- Foong / Figure 1 model ------------------------------------------------------------
+
+def test_tcp_model_validation():
+    with pytest.raises(ReproError):
+        TcpCostModel(tx_per_packet_cycles=0)
+    model = TcpCostModel()
+    with pytest.raises(ReproError):
+        model.ghz_per_gbps(0, "tx")
+    with pytest.raises(ReproError):
+        model.ghz_per_gbps(100, "sideways")
+
+
+def test_tcp_model_ratio_definition():
+    model = TcpCostModel(tx_per_packet_cycles=800, tx_per_byte_cycles=1.0,
+                         rx_per_packet_cycles=800, rx_per_byte_cycles=1.0)
+    # (800 + 100) cycles over 800 bits = 1.125 cycles/bit.
+    assert model.ghz_per_gbps(100, "tx") == pytest.approx(1.125)
+
+
+def test_tcp_model_rx_dearer_and_monotone():
+    model = TcpCostModel()
+    series = fig1_series(model)
+    for size, tx, rx in series:
+        assert rx > tx
+    ratios = [tx for _s, tx, _r in series]
+    assert ratios == sorted(ratios, reverse=True)
+
+
+def test_tcp_model_saturation_and_utilization():
+    model = TcpCostModel()
+    sat = model.saturation_throughput_gbps(1460, "rx", cpu_ghz=2.4)
+    # At the saturation throughput, utilization is exactly 1.
+    assert model.cpu_utilization(1460, "rx", sat, 2.4) == pytest.approx(1.0)
+    with pytest.raises(ReproError):
+        model.cpu_utilization(1460, "rx", 0)
+
+
+def test_run_fig1_matches_model():
+    series = run_fig1()
+    assert len(series) == 12
+    assert series[0][0] == 64
+
+
+# -- reporting -------------------------------------------------------------------------
+
+def test_format_table_alignment():
+    text = format_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "333" in lines[-1]
+    # All data rows are equally wide.
+    assert len(lines[-1]) == len(lines[-2])
+
+
+def test_render_fig1_contains_sizes():
+    text = render_fig1(run_fig1())
+    assert "65536" in text and "transmit" in text
+
+
+# -- drivers (short runs) -----------------------------------------------------------------
+
+def test_run_server_scenario_idle_has_no_jitter_rows():
+    # Needs > 5 s: the sampler follows the paper's 5-second cadence.
+    result = run_server_scenario("idle", seconds=6.0)
+    assert result.jitter is None
+    assert result.cpu.count >= 0
+    assert result.l2_miss_rate > 0
+
+
+def test_run_server_scenario_rejects_unknown():
+    with pytest.raises(ValueError):
+        run_server_scenario("bogus")
+    with pytest.raises(ValueError):
+        run_client_scenario("bogus")
+
+
+def test_run_server_scenario_offloaded_short():
+    result = run_server_scenario("offloaded", seconds=6.0)
+    assert result.jitter is not None
+    assert result.jitter.average == pytest.approx(5.0, abs=0.02)
+    assert result.packets > 1000
+    # Histogram and CDF are well-formed.
+    bins = result.jitter_histogram(0.1)
+    assert sum(count for _e, count in bins) == len(result.jitter_samples_ms)
+    cdf = result.jitter_cdf()
+    assert cdf[-1][1] == pytest.approx(1.0)
+
+
+def test_paper_constants_shape():
+    assert set(PAPER_TABLE2) == {"simple", "sendfile", "offloaded"}
+    for row in PAPER_TABLE2.values():
+        assert len(row) == 3
+
+
+# -- ILP ablation -----------------------------------------------------------------------
+
+def test_ilp_vs_greedy_small():
+    result = run_ilp_vs_greedy(graphs=10, num_nodes=6, num_devices=3,
+                               seed=3)
+    assert result.graphs > 0
+    assert result.total_greedy_objective <= result.total_exact_objective
+    text = render_ilp_ablation(result)
+    assert "greedy suboptimal" in text

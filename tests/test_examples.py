@@ -1,0 +1,64 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as end-to-end acceptance tests of the public API;
+they are executed in-process (their ``main()``s) to keep this fast.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "quickstart OK" in out
+    assert "-> nic0" in out
+
+
+def test_layout_optimizer_runs(capsys):
+    load_example("layout_optimizer").main()
+    out = capsys.readouterr().out
+    assert "layout optimizer demo OK" in out
+    assert "decoder        -> gpu" in out
+
+
+def test_checksum_offload_runs(capsys):
+    load_example("checksum_offload").main()
+    out = capsys.readouterr().out
+    assert "checksum offload demo OK" in out
+    assert "Pull dragged Checksum to nic0" in out
+
+
+@pytest.mark.slow
+def test_tivopc_demo_runs(capsys):
+    load_example("tivopc_demo").main()
+    out = capsys.readouterr().out
+    assert "tivopc demo OK" in out
+    assert "playback decoded" in out
+
+
+@pytest.mark.slow
+def test_smart_storage_runs(capsys):
+    load_example("smart_storage").main()
+    out = capsys.readouterr().out
+    assert "smart storage demo OK" in out
+
+
+def test_vm_demux_runs(capsys):
+    load_example("vm_demux").main()
+    out = capsys.readouterr().out
+    assert "vm demux demo OK" in out

@@ -1,0 +1,220 @@
+"""Tests for the kernel model: ticks, daemons, sleep, copies, scheduler."""
+
+import statistics
+
+import pytest
+
+from repro import units
+from repro.errors import OSError_
+from repro.hostos.kernel import BackgroundLoadConfig, Kernel, KernelConfig
+from repro.hostos.scheduler import SchedulerSpec, WakeupModel
+from repro.hw import CpuSampler, Machine
+from repro.sim import RandomStreams, Simulator
+
+
+def make_kernel(config=None, seed=1):
+    sim = Simulator()
+    machine = Machine(sim)
+    kernel = Kernel(machine, RandomStreams(seed), config)
+    return sim, machine, kernel
+
+
+# -- scheduler / wakeup model ------------------------------------------------------
+
+def test_scheduler_spec_tick():
+    assert SchedulerSpec(hz=1000).tick_ns == units.MS
+    assert SchedulerSpec(hz=250).tick_ns == 4 * units.MS
+    with pytest.raises(OSError_):
+        SchedulerSpec(hz=0)
+
+
+def test_quantization_delay():
+    model = WakeupModel(SchedulerSpec(hz=1000),
+                        RandomStreams(0).stream("x"))
+    assert model.quantization_ns(units.MS) == 0          # on a tick edge
+    assert model.quantization_ns(units.MS + 1) == units.MS - 1
+    assert model.quantization_ns(units.MS // 2) == units.MS // 2
+
+
+def test_dispatch_latency_nonnegative_and_varies():
+    model = WakeupModel(SchedulerSpec(), RandomStreams(0).stream("x"))
+    draws = [model.dispatch_ns() for _ in range(100)]
+    assert all(d >= 0 for d in draws)
+    assert len(set(draws)) > 10
+
+
+def test_runqueue_penalty_scales_with_depth():
+    sim = Simulator()
+    machine = Machine(sim)
+    model = WakeupModel(SchedulerSpec(runqueue_penalty_ns=1000),
+                        RandomStreams(0).stream("x"), cpu=machine.cpu)
+    assert model.runqueue_ns() == 0
+
+    def hog():
+        yield from machine.cpu.execute(1000)
+
+    for _ in range(3):
+        sim.spawn(hog())
+    sim.run(until=500)
+    assert machine.cpu.queue_depth == 2
+    assert model.runqueue_ns() == 2000
+
+
+# -- kernel ticks and background ----------------------------------------------------
+
+def test_tick_loop_charges_cpu():
+    sim, machine, kernel = make_kernel()
+    kernel.start(with_background=False)
+    sim.run(until=units.s_to_ns(0.1))
+    assert kernel.ticks == pytest.approx(100, abs=2)
+    assert machine.cpu.busy_by_context.get("kernel-tick", 0) > 0
+
+
+def test_idle_utilization_near_paper_value():
+    """The idle system should sit near the paper's 2.86 % CPU."""
+    sim, machine, kernel = make_kernel()
+    kernel.start()
+    sim.run(until=units.s_to_ns(20))
+    util = machine.cpu.utilization()
+    assert 0.02 < util < 0.04
+
+
+def test_idle_utilization_window_stability():
+    sim, machine, kernel = make_kernel()
+    kernel.start()
+    sampler = CpuSampler(machine.cpu)
+    for window in range(1, 9):
+        sim.run(until=units.s_to_ns(5 * window))
+        sampler.sample()
+    utils = sampler.utilizations()
+    assert statistics.pstdev(utils) < 0.005
+    assert 0.02 < statistics.mean(utils) < 0.04
+
+
+def test_background_touches_cache():
+    sim, machine, kernel = make_kernel()
+    kernel.start()
+    sim.run(until=units.s_to_ns(1))
+    assert machine.l2.stats.accesses > 0
+
+
+def test_double_start_rejected():
+    sim, machine, kernel = make_kernel()
+    kernel.start()
+    with pytest.raises(OSError_):
+        kernel.start()
+
+
+# -- sleep ---------------------------------------------------------------------------
+
+def test_sleep_never_early_and_adds_latency():
+    sim, machine, kernel = make_kernel()
+    wakes = []
+
+    def sleeper():
+        for _ in range(20):
+            before = sim.now
+            yield from kernel.sleep(5 * units.MS)
+            wakes.append(sim.now - before)
+
+    sim.spawn(sleeper())
+    sim.run()
+    assert all(w >= 5 * units.MS for w in wakes)
+    assert statistics.mean(wakes) > 5 * units.MS
+
+
+def test_sleep_negative_rejected():
+    sim, machine, kernel = make_kernel()
+
+    def bad():
+        yield from kernel.sleep(-5)
+
+    sim.spawn(bad())
+    with pytest.raises(OSError_):
+        sim.run()
+
+
+def test_sleep_jitter_has_tick_scale():
+    """Wakeup error should be on the order of the tick + dispatch noise."""
+    sim, machine, kernel = make_kernel()
+    errors = []
+
+    def sleeper():
+        for _ in range(200):
+            before = sim.now
+            yield from kernel.sleep(5 * units.MS)
+            errors.append(sim.now - before - 5 * units.MS)
+
+    sim.spawn(sleeper())
+    sim.run()
+    mean_err = statistics.mean(errors)
+    tick = kernel.config.scheduler.tick_ns
+    assert 0 < mean_err < 3 * tick
+
+
+# -- syscall and copies -----------------------------------------------------------------
+
+def test_syscall_counted_and_charged():
+    sim, machine, kernel = make_kernel()
+
+    def proc():
+        yield from kernel.syscall("read")
+        yield from kernel.syscall("read")
+        yield from kernel.syscall("sendto")
+
+    sim.spawn(proc())
+    sim.run()
+    assert kernel.syscalls == {"read": 2, "sendto": 1}
+    assert machine.cpu.busy_by_context["kernel-syscall"] >= 3 * 900
+
+
+def test_copy_charges_cpu_and_cache():
+    sim, machine, kernel = make_kernel()
+    before = machine.l2.stats.accesses
+
+    def proc():
+        yield from kernel.copy_to_user(1024)
+
+    sim.spawn(proc())
+    sim.run()
+    # 1024 B read + 1024 B written = 32 lines.
+    assert machine.l2.stats.accesses - before == 32
+    assert machine.cpu.total_busy == round(1024 * kernel.config.copy_ns_per_byte)
+
+
+def test_copy_zero_is_free():
+    sim, machine, kernel = make_kernel()
+
+    def proc():
+        yield from kernel.copy_from_user(0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert machine.cpu.total_busy == 0
+
+
+def test_copy_buffers_rotate():
+    """Successive copies must not reuse one hot buffer (they stream)."""
+    sim, machine, kernel = make_kernel()
+
+    def proc():
+        for _ in range(4):
+            yield from kernel.copy_to_user(1024)
+
+    sim.spawn(proc())
+    sim.run()
+    stats = machine.l2.stats
+    # All accesses are cold misses because addresses keep advancing.
+    assert stats.misses == stats.accesses
+
+
+def test_isr_charges_interrupt_cost():
+    sim, machine, kernel = make_kernel()
+
+    def proc():
+        yield from kernel.isr(extra_ns=1000)
+
+    sim.spawn(proc())
+    sim.run()
+    assert machine.cpu.busy_by_context["kernel-isr"] == (
+        kernel.config.interrupt_ns + 1000)

@@ -1,0 +1,164 @@
+"""Tests for the bus / DMA model."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.hw.bus import HOST_MEMORY, Bus, BusSpec
+from repro.sim import Simulator
+
+
+def make_bus(sim, spec=None):
+    bus = Bus(sim, spec)
+    bus.attach("nic")
+    bus.attach("gpu")
+    return bus
+
+
+def run_transfer(sim, bus, src, dst, size):
+    result = {}
+
+    def proc(sim, bus):
+        result["txns"] = yield from bus.transfer(src, dst, size)
+
+    sim.spawn(proc(sim, bus))
+    sim.run()
+    return result["txns"]
+
+
+def test_transfer_takes_arbitration_plus_serialization():
+    sim = Simulator()
+    spec = BusSpec(bandwidth_bps=8e9, arbitration_ns=200)
+    bus = make_bus(sim, spec)
+    run_transfer(sim, bus, "nic", HOST_MEMORY, 8000)
+    # 8000 B = 64000 bits at 8 Gbps = 8000 ns + 200 arbitration
+    assert sim.now == 8200
+
+
+def test_peer_to_peer_single_transaction():
+    sim = Simulator()
+    bus = make_bus(sim, BusSpec(peer_to_peer=True))
+    assert run_transfer(sim, bus, "nic", "gpu", 1024) == 1
+    assert bus.crossings == {("nic", "gpu"): 1}
+    assert bus.host_memory_crossings() == 0
+
+
+def test_legacy_pci_stages_through_host_memory():
+    sim = Simulator()
+    bus = make_bus(sim, BusSpec.pci_legacy())
+    assert run_transfer(sim, bus, "nic", "gpu", 1024) == 2
+    assert bus.crossings == {
+        ("nic", HOST_MEMORY): 1,
+        (HOST_MEMORY, "gpu"): 1,
+    }
+    assert bus.host_memory_crossings() == 2
+
+
+def test_multicast_on_pcie_is_one_transaction():
+    sim = Simulator()
+    bus = make_bus(sim, BusSpec(peer_to_peer=True))
+    bus.attach("disk")
+    result = {}
+
+    def proc(sim, bus):
+        result["txns"] = yield from bus.multicast_transfer(
+            "nic", ["gpu", "disk"], 1024)
+
+    sim.spawn(proc(sim, bus))
+    sim.run()
+    assert result["txns"] == 1
+    # Both logical crossings are counted even though one transaction ran.
+    assert bus.crossings[("nic", "gpu")] == 1
+    assert bus.crossings[("nic", "disk")] == 1
+
+
+def test_multicast_on_pci_is_per_destination():
+    sim = Simulator()
+    bus = make_bus(sim, BusSpec.pci_legacy())
+    bus.attach("disk")
+    result = {}
+
+    def proc(sim, bus):
+        result["txns"] = yield from bus.multicast_transfer(
+            "nic", ["gpu", "disk"], 1024)
+
+    sim.spawn(proc(sim, bus))
+    sim.run()
+    assert result["txns"] == 4  # two staged transfers of two txns each
+
+
+def test_contention_serializes_transfers():
+    sim = Simulator()
+    spec = BusSpec(bandwidth_bps=8e9, arbitration_ns=0)
+    bus = make_bus(sim, spec)
+    done = []
+
+    def proc(sim, bus, tag):
+        yield from bus.transfer("nic", HOST_MEMORY, 1000)
+        done.append((tag, sim.now))
+
+    sim.spawn(proc(sim, bus, "a"))
+    sim.spawn(proc(sim, bus, "b"))
+    sim.run()
+    assert done == [("a", 1000), ("b", 2000)]
+
+
+def test_unknown_endpoint_rejected():
+    sim = Simulator()
+    bus = make_bus(sim)
+
+    def proc(sim, bus):
+        yield from bus.transfer("nic", "nonexistent", 10)
+
+    sim.spawn(proc(sim, bus))
+    with pytest.raises(BusError):
+        sim.run()
+
+
+def test_self_transfer_rejected():
+    sim = Simulator()
+    bus = make_bus(sim)
+
+    def proc(sim, bus):
+        yield from bus.transfer("nic", "nic", 10)
+
+    sim.spawn(proc(sim, bus))
+    with pytest.raises(BusError):
+        sim.run()
+
+
+def test_zero_size_rejected():
+    sim = Simulator()
+    bus = make_bus(sim)
+
+    def proc(sim, bus):
+        yield from bus.transfer("nic", HOST_MEMORY, 0)
+
+    sim.spawn(proc(sim, bus))
+    with pytest.raises(BusError):
+        sim.run()
+
+
+def test_duplicate_attach_rejected():
+    sim = Simulator()
+    bus = make_bus(sim)
+    with pytest.raises(BusError):
+        bus.attach("nic")
+
+
+def test_bytes_moved_accumulates():
+    sim = Simulator()
+    bus = make_bus(sim)
+    run_transfer(sim, bus, "nic", HOST_MEMORY, 500)
+    assert bus.bytes_moved == 500
+
+
+def test_record_log_captures_transfers():
+    sim = Simulator()
+    bus = make_bus(sim)
+    bus.record_log = True
+    run_transfer(sim, bus, "nic", HOST_MEMORY, 100)
+    assert len(bus.transfers) == 1
+    record = bus.transfers[0]
+    assert record.src == "nic"
+    assert record.dst == HOST_MEMORY
+    assert record.size_bytes == 100

@@ -1,0 +1,175 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.cache import Cache, CacheConfig, SampledCacheMonitor
+
+
+def small_cache():
+    # 4 sets x 2 ways x 64B lines = 512 B
+    return Cache(CacheConfig(size_bytes=512, line_bytes=64, associativity=2))
+
+
+def test_config_defaults_match_paper_testbed():
+    cfg = CacheConfig()
+    assert cfg.size_bytes == 256 * 1024
+    assert cfg.line_bytes == 64
+    assert cfg.associativity == 8
+    assert cfg.num_sets == 512
+
+
+def test_config_validation():
+    with pytest.raises(HardwareError):
+        CacheConfig(line_bytes=48)          # not a power of two
+    with pytest.raises(HardwareError):
+        CacheConfig(size_bytes=0)
+    with pytest.raises(HardwareError):
+        CacheConfig(size_bytes=1000, line_bytes=64, associativity=2)
+
+
+def test_cold_miss_then_hit():
+    cache = small_cache()
+    assert cache.access(0x100) is False
+    assert cache.access(0x100) is True
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_same_line_different_offsets_hit():
+    cache = small_cache()
+    cache.access(0x100)
+    assert cache.access(0x13F) is True   # same 64B line
+    assert cache.access(0x140) is False  # next line
+
+
+def test_lru_eviction_within_set():
+    cache = small_cache()  # 2-way; set stride = 4 sets * 64 = 256B
+    a, b, c = 0x000, 0x100, 0x200  # all map to set 0
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)          # a is now MRU
+    cache.access(c)          # evicts b (LRU)
+    assert cache.contains(a)
+    assert not cache.contains(b)
+    assert cache.contains(c)
+    assert cache.stats.evictions == 1
+
+
+def test_write_marks_dirty_and_writeback_on_eviction():
+    cache = small_cache()
+    cache.access(0x000, write=True)
+    cache.access(0x100)
+    cache.access(0x200)  # evicts dirty 0x000
+    assert cache.stats.writebacks == 1
+
+
+def test_access_range_counts_lines():
+    cache = small_cache()
+    hits, misses = cache.access_range(0, 256)
+    assert (hits, misses) == (0, 4)
+    hits, misses = cache.access_range(0, 256)
+    assert (hits, misses) == (4, 0)
+
+
+def test_access_range_partial_lines():
+    cache = small_cache()
+    # 10 bytes straddling a line boundary touches 2 lines.
+    hits, misses = cache.access_range(60, 10)
+    assert misses == 2
+
+
+def test_access_range_empty():
+    cache = small_cache()
+    assert cache.access_range(0, 0) == (0, 0)
+
+
+def test_streaming_evicts_resident_working_set():
+    """The mechanism behind Figure 10: streaming data evicts hot lines."""
+    cache = Cache(CacheConfig(size_bytes=4096, line_bytes=64, associativity=4))
+    # Install a working set filling the whole cache.
+    cache.access_range(0, 4096)
+    assert cache.resident_lines == 64
+    # Stream 64 kB through: working set is gone afterwards.
+    cache.access_range(0x100000, 65536)
+    resident = sum(1 for addr in range(0, 4096, 64) if cache.contains(addr))
+    assert resident == 0
+
+
+def test_flush_returns_dirty_count():
+    cache = small_cache()
+    cache.access(0x000, write=True)
+    cache.access(0x040, write=True)
+    cache.access(0x080)
+    assert cache.flush() == 2
+    assert cache.resident_lines == 0
+
+
+def test_negative_address_rejected():
+    cache = small_cache()
+    with pytest.raises(HardwareError):
+        cache.access(-1)
+    with pytest.raises(HardwareError):
+        cache.access_range(0, -5)
+
+
+def test_stats_delta_and_snapshot():
+    cache = small_cache()
+    cache.access_range(0, 512)
+    snap = cache.stats.snapshot()
+    cache.access_range(0, 512)  # all hits
+    delta = cache.stats.delta(snap)
+    assert delta.misses == 0
+    assert delta.hits == 8
+    assert delta.miss_rate == 0.0
+
+
+def test_sampled_monitor_windows():
+    cache = small_cache()
+    monitor = SampledCacheMonitor(cache)
+    cache.access_range(0, 256)           # 4 misses
+    w1 = monitor.sample(now_ns=5)
+    cache.access_range(0, 256)           # 4 hits
+    w2 = monitor.sample(now_ns=10)
+    assert w1.misses == 4 and w1.hits == 0
+    assert w2.misses == 0 and w2.hits == 4
+    assert monitor.miss_rates() == [1.0, 0.0]
+
+
+# -- property-based -----------------------------------------------------------
+
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                      min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_property_resident_bounded_by_capacity(addrs):
+    cache = Cache(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2))
+    for addr in addrs:
+        cache.access(addr)
+    assert cache.resident_lines <= cache.config.num_lines
+    assert cache.stats.accesses == len(addrs)
+
+
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                      min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_property_second_pass_over_small_set_hits(addrs):
+    """Re-accessing an address immediately after access always hits."""
+    cache = Cache(CacheConfig(size_bytes=2048, line_bytes=64, associativity=4))
+    for addr in addrs:
+        cache.access(addr)
+        assert cache.access(addr) is True
+
+
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 24),
+                      min_size=1, max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_property_counters_consistent(addrs):
+    cache = Cache(CacheConfig(size_bytes=512, line_bytes=64, associativity=2))
+    for addr in addrs:
+        cache.access(addr, write=(addr % 3 == 0))
+    stats = cache.stats
+    assert stats.hits + stats.misses == len(addrs)
+    assert stats.evictions == stats.misses - cache.resident_lines
+    assert 0 <= stats.writebacks <= stats.evictions

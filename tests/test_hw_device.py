@@ -1,0 +1,199 @@
+"""Tests for programmable devices and the device memory allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError, DeviceMemoryError
+from repro.hw.bus import HOST_MEMORY, Bus
+from repro.hw.device import (
+    DeviceClass,
+    DeviceMemoryAllocator,
+    DeviceSpec,
+    ProgrammableDevice,
+    XSCALE_CPU,
+)
+from repro.sim import Simulator
+
+
+def make_device(sim, **overrides):
+    bus = Bus(sim)
+    defaults = dict(name="dev0", device_class=DeviceClass.NETWORK,
+                    bus_type="pci", mac_type="ethernet", vendor="3COM")
+    defaults.update(overrides)
+    spec = DeviceSpec(**defaults)
+    return ProgrammableDevice(sim, spec, bus)
+
+
+# -- spec ---------------------------------------------------------------------
+
+def test_spec_validates_device_class():
+    with pytest.raises(DeviceError):
+        DeviceSpec(name="x", device_class="toaster")
+
+
+def test_spec_requires_positive_memory():
+    with pytest.raises(DeviceError):
+        DeviceSpec(name="x", device_class=DeviceClass.NETWORK,
+                   local_memory_bytes=0)
+
+
+def test_xscale_power_point_matches_paper():
+    assert XSCALE_CPU.frequency_hz == pytest.approx(600e6)
+    assert XSCALE_CPU.active_watts == pytest.approx(0.5)
+
+
+def test_feature_query():
+    spec = DeviceSpec(name="x", device_class=DeviceClass.NETWORK,
+                      features=frozenset({"scatter-gather"}))
+    assert spec.has_feature("scatter-gather")
+    assert not spec.has_feature("mpeg-assist")
+
+
+# -- matching (ODF device-class filters) ---------------------------------------
+
+def test_matches_class_only():
+    sim = Simulator()
+    dev = make_device(sim)
+    assert dev.matches(DeviceClass.NETWORK)
+    assert not dev.matches(DeviceClass.STORAGE)
+
+
+def test_matches_with_filters():
+    sim = Simulator()
+    dev = make_device(sim)
+    assert dev.matches(DeviceClass.NETWORK, bus="pci", mac="ethernet",
+                       vendor="3com")
+    assert not dev.matches(DeviceClass.NETWORK, vendor="intel")
+    assert not dev.matches(DeviceClass.NETWORK, bus="usb")
+
+
+# -- DMA -------------------------------------------------------------------------
+
+def test_dma_paths():
+    sim = Simulator()
+    dev = make_device(sim)
+    dev.bus.attach("peer")
+    txns = []
+
+    def proc(sim, dev):
+        txns.append((yield from dev.dma_to_host(100)))
+        txns.append((yield from dev.dma_from_host(100)))
+        txns.append((yield from dev.dma_to_peer("peer", 100)))
+
+    sim.spawn(proc(sim, dev))
+    sim.run()
+    assert txns == [1, 1, 1]
+    assert dev.bus.crossings[("dev0", HOST_MEMORY)] == 1
+    assert dev.bus.crossings[(HOST_MEMORY, "dev0")] == 1
+    assert dev.bus.crossings[("dev0", "peer")] == 1
+
+
+# -- interrupts --------------------------------------------------------------------
+
+def test_interrupt_delivery():
+    sim = Simulator()
+    dev = make_device(sim)
+    received = []
+    dev.set_interrupt_handler(lambda vec, payload: received.append((vec, payload)))
+    dev.raise_interrupt("rx", "pkt")
+    assert received == [("rx", "pkt")]
+    assert dev.interrupts_raised == 1
+
+
+def test_interrupt_without_handler_is_counted():
+    sim = Simulator()
+    dev = make_device(sim)
+    dev.raise_interrupt("rx")
+    assert dev.interrupts_raised == 1
+
+
+# -- device CPU ----------------------------------------------------------------------
+
+def test_run_on_device_charges_device_cpu():
+    sim = Simulator()
+    dev = make_device(sim)
+
+    def proc(sim, dev):
+        yield from dev.run_on_device(5000, context="fw")
+
+    sim.spawn(proc(sim, dev))
+    sim.run()
+    assert dev.cpu.total_busy == 5000
+
+
+# -- allocator ------------------------------------------------------------------------
+
+def test_allocator_basic_alloc_free():
+    alloc = DeviceMemoryAllocator(capacity=4096, base=0)
+    r1 = alloc.allocate(100, label="a")
+    r2 = alloc.allocate(100, label="b")
+    assert r1.base != r2.base
+    assert r1.size == 112  # 16-byte aligned
+    assert alloc.used_bytes == 224
+    alloc.free(r1)
+    assert alloc.used_bytes == 112
+
+
+def test_allocator_returns_distinct_addresses():
+    alloc = DeviceMemoryAllocator(capacity=1 << 16)
+    regions = [alloc.allocate(64) for _ in range(10)]
+    bases = [r.base for r in regions]
+    assert len(set(bases)) == 10
+
+
+def test_allocator_exhaustion():
+    alloc = DeviceMemoryAllocator(capacity=256)
+    alloc.allocate(128)
+    alloc.allocate(112)
+    with pytest.raises(DeviceMemoryError):
+        alloc.allocate(64)
+
+
+def test_allocator_double_free_rejected():
+    alloc = DeviceMemoryAllocator(capacity=1024)
+    region = alloc.allocate(64)
+    alloc.free(region)
+    with pytest.raises(DeviceMemoryError):
+        alloc.free(region)
+
+
+def test_allocator_coalesces_free_space():
+    alloc = DeviceMemoryAllocator(capacity=1024, base=0)
+    a = alloc.allocate(256)
+    b = alloc.allocate(256)
+    c = alloc.allocate(512)
+    alloc.free(a)
+    alloc.free(b)
+    alloc.free(c)
+    # After coalescing, a full-size allocation must succeed again.
+    big = alloc.allocate(1024)
+    assert big.size == 1024
+
+
+@given(ops=st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=512)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+    ),
+    min_size=1, max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_property_allocator_never_overlaps_and_conserves(ops):
+    alloc = DeviceMemoryAllocator(capacity=8192, base=0)
+    live = []
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                live.append(alloc.allocate(arg))
+            except DeviceMemoryError:
+                pass
+        elif live:
+            region = live.pop(arg % len(live))
+            alloc.free(region)
+    # No two live regions overlap.
+    spans = sorted((r.base, r.end) for r in live)
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+    # Conservation: used + free == capacity.
+    assert alloc.used_bytes + alloc.free_bytes == alloc.capacity
+    assert alloc.used_bytes == sum(r.size for r in live)

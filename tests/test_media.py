@@ -1,0 +1,153 @@
+"""Tests for the media substrate: GOP generator, stream config, decoder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import ReproError
+from repro.hostos.kernel import Kernel
+from repro.hw import Machine
+from repro.media import (
+    DECODE_EXPANSION,
+    Frame,
+    FrameType,
+    GopConfig,
+    GopGenerator,
+    SoftwareDecoder,
+    StreamConfig,
+    chunk_schedule,
+)
+from repro.sim import RandomStreams, Simulator
+
+
+# -- GOP generator ------------------------------------------------------------------
+
+def test_gop_pattern_ibbp():
+    generator = GopGenerator()
+    types = [generator.frame_type_at(i) for i in range(9)]
+    assert types == ["I", "B", "B", "P", "B", "B", "P", "B", "B"]
+    assert generator.frame_type_at(9) == FrameType.I
+
+
+def test_gop_frame_sizes_ordered():
+    generator = GopGenerator(GopConfig(size_cv=0.0))
+    frames = generator.gop()
+    i_frames = [f for f in frames if f.frame_type == FrameType.I]
+    p_frames = [f for f in frames if f.frame_type == FrameType.P]
+    b_frames = [f for f in frames if f.frame_type == FrameType.B]
+    assert len(i_frames) == 1 and len(p_frames) == 2 and len(b_frames) == 6
+    assert i_frames[0].size_bytes > p_frames[0].size_bytes \
+        > b_frames[0].size_bytes
+
+
+def test_gop_indices_monotonic():
+    generator = GopGenerator()
+    frames = generator.frames(20)
+    assert [f.index for f in frames] == list(range(20))
+
+
+def test_gop_deterministic_with_seed():
+    import random
+    a = GopGenerator(rng=random.Random(5)).frames(10)
+    b = GopGenerator(rng=random.Random(5)).frames(10)
+    assert [f.size_bytes for f in a] == [f.size_bytes for f in b]
+
+
+def test_gop_config_validation():
+    with pytest.raises(ReproError):
+        GopConfig(gop_length=0)
+    with pytest.raises(ReproError):
+        GopConfig(size_cv=1.5)
+    with pytest.raises(ReproError):
+        Frame(index=0, frame_type="I", size_bytes=0)
+
+
+@given(count=st.integers(min_value=1, max_value=60))
+@settings(max_examples=30, deadline=None)
+def test_property_gop_respects_bitrate_scale(count):
+    generator = GopGenerator(GopConfig(size_cv=0.1))
+    frames = generator.frames(count)
+    assert all(f.size_bytes >= 64 for f in frames)
+    # I-frames dominate the byte budget over whole GOPs.
+    if count >= 18:
+        total_i = sum(f.size_bytes for f in frames
+                      if f.frame_type == FrameType.I)
+        total_b = sum(f.size_bytes for f in frames
+                      if f.frame_type == FrameType.B)
+        assert total_i > total_b
+
+
+# -- stream config ------------------------------------------------------------------------
+
+def test_stream_config_paper_workload():
+    config = StreamConfig()
+    assert config.chunk_bytes == 1024
+    assert config.interval_ns == 5 * units.MS
+    assert config.bytes_per_second == pytest.approx(204_800)
+
+
+def test_stream_config_validation():
+    with pytest.raises(ReproError):
+        StreamConfig(chunk_bytes=0)
+    with pytest.raises(ReproError):
+        StreamConfig(interval_ns=0)
+
+
+def test_chunk_schedule_counts():
+    config = StreamConfig()
+    times = list(chunk_schedule(config, units.s_to_ns(1)))
+    assert len(times) == 200
+    assert times[0] == 5 * units.MS
+    assert times[-1] == units.s_to_ns(1)
+    with pytest.raises(ReproError):
+        list(chunk_schedule(config, -1))
+
+
+# -- software decoder -----------------------------------------------------------------------
+
+def make_kernel():
+    sim = Simulator()
+    machine = Machine(sim)
+    return sim, machine, Kernel(machine, RandomStreams(0))
+
+
+def test_decoder_charges_cpu_and_cache():
+    sim, machine, kernel = make_kernel()
+    decoder = SoftwareDecoder(kernel)
+    out = {}
+
+    def proc():
+        out["raw"] = yield from decoder.decode(8192)
+
+    sim.run_until_event(sim.spawn(proc()))
+    assert out["raw"] == 8192 * DECODE_EXPANSION
+    assert decoder.frames_decoded == 1
+    assert decoder.bytes_decoded == 8192
+    assert machine.cpu.busy_by_context["mpeg-decode"] > 0
+    assert machine.l2.stats.accesses > 0
+
+
+def test_decoder_frame_overhead_only_at_boundary():
+    sim, machine, kernel = make_kernel()
+    decoder = SoftwareDecoder(kernel)
+    costs = {}
+
+    def proc():
+        before = machine.cpu.total_busy
+        yield from decoder.decode(1024, is_frame_boundary=False)
+        costs["mid"] = machine.cpu.total_busy - before
+        before = machine.cpu.total_busy
+        yield from decoder.decode(1024, is_frame_boundary=True)
+        costs["boundary"] = machine.cpu.total_busy - before
+
+    sim.run_until_event(sim.spawn(proc()))
+    assert costs["boundary"] > costs["mid"]
+    assert decoder.frames_decoded == 1
+
+
+def test_decoder_rejects_empty():
+    sim, machine, kernel = make_kernel()
+    decoder = SoftwareDecoder(kernel)
+    with pytest.raises(ReproError):
+        next(decoder.decode(0))

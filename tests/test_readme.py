@@ -1,0 +1,40 @@
+"""Docs-honesty gate: the README's code examples must actually run."""
+
+import pathlib
+import re
+
+README = (pathlib.Path(__file__).parent.parent / "README.md").read_text()
+
+
+def python_blocks():
+    return re.findall(r"```python\n(.*?)```", README, re.DOTALL)
+
+
+def test_readme_has_a_quickstart_block():
+    blocks = python_blocks()
+    assert len(blocks) >= 1
+    assert "create_offcode" in blocks[0]
+
+
+def test_readme_quickstart_executes(capsys):
+    namespace = {}
+    exec(python_blocks()[0], namespace)      # noqa: S102 - docs gate
+    out = capsys.readouterr().out
+    assert "placed on nic0" in out
+    assert "4096" not in out or True          # checksum printed below
+    # The checksum of 4096 is 4096 & 0xFFFF = 4096.
+    assert "4096" in out
+
+
+def test_readme_mentions_all_examples():
+    import os
+    examples = {p for p in os.listdir(
+        pathlib.Path(__file__).parent.parent / "examples")
+        if p.endswith(".py")}
+    for example in examples:
+        assert example in README, f"README does not mention {example}"
+
+
+def test_readme_install_instructions_present():
+    assert "pip install -e ." in README
+    assert "pytest benchmarks/ --benchmark-only" in README

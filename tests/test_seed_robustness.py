@@ -1,0 +1,56 @@
+"""Seed-robustness: the paper's qualitative results hold across seeds.
+
+Calibration was done at seed 0; these tests re-run the headline
+comparisons at other seeds and assert the *shape* (orderings and
+magnitudes), guarding against a reproduction that only works at the
+seed it was tuned on.  Marked slow: each seed is a full scenario set.
+"""
+
+import pytest
+
+from repro.evaluation import run_server_scenario
+from repro.tivopc import (
+    MeasurementClient,
+    OffloadedServer,
+    SendfileServer,
+    SimpleServer,
+    Testbed,
+    TestbedConfig,
+)
+
+SEEDS = (1, 2025)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+def test_jitter_ordering_holds_across_seeds(seed):
+    stats = {}
+    for cls in (SimpleServer, SendfileServer, OffloadedServer):
+        testbed = Testbed(TestbedConfig(seed=seed))
+        testbed.start()
+        client = MeasurementClient(testbed)
+        client.start()
+        cls(testbed).start()
+        testbed.run(12)
+        stats[cls.name] = client.jitter.stats()
+    assert 6.7 < stats["simple"].average < 7.4
+    assert 5.8 < stats["sendfile"].average < 6.4
+    assert abs(stats["offloaded"].average - 5.0) < 0.02
+    assert (stats["offloaded"].stdev
+            < stats["sendfile"].stdev
+            < stats["simple"].stdev)
+    assert stats["offloaded"].stdev < 0.08
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cpu_and_l2_shape_holds_across_seeds(seed):
+    idle = run_server_scenario("idle", seconds=12, seed=seed)
+    simple = run_server_scenario("simple", seconds=12, seed=seed)
+    offloaded = run_server_scenario("offloaded", seconds=12, seed=seed)
+    # CPU: simple well above idle; offloaded == idle.
+    assert simple.cpu.average > idle.cpu.average + 0.03
+    assert abs(offloaded.cpu.average - idle.cpu.average) < 0.004
+    # L2: simple clearly above idle; offloaded == idle.
+    assert simple.l2_miss_rate > idle.l2_miss_rate * 1.03
+    assert abs(offloaded.l2_miss_rate / idle.l2_miss_rate - 1.0) < 0.02

@@ -1,0 +1,53 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.sim import RandomStreams
+
+
+def test_same_name_same_sequence():
+    a = RandomStreams(7).stream("noise")
+    b = RandomStreams(7).stream("noise")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_differ():
+    streams = RandomStreams(7)
+    a = streams.stream("noise")
+    b = streams.stream("jitter")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x")
+    b = RandomStreams(2).stream("x")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_adding_stream_does_not_perturb_existing():
+    streams1 = RandomStreams(3)
+    s1 = streams1.stream("a")
+    first = [s1.random() for _ in range(5)]
+
+    streams2 = RandomStreams(3)
+    streams2.stream("b")          # new consumer created first
+    s2 = streams2.stream("a")
+    second = [s2.random() for _ in range(5)]
+    assert first == second
+
+
+def test_fork_independent():
+    root = RandomStreams(9)
+    child = root.fork("client")
+    a = root.stream("x")
+    b = child.stream("x")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_deterministic():
+    a = RandomStreams(9).fork("client").stream("x")
+    b = RandomStreams(9).fork("client").stream("x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]

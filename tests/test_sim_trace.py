@@ -1,0 +1,102 @@
+"""Tests for the tracing facility."""
+
+import pytest
+
+from repro.core import HydraRuntime, InterfaceSpec, MethodSpec, Offcode
+from repro.core.guid import Guid
+from repro.core.odf import DeviceClassFilter, OdfDocument
+from repro.hw import DeviceClass, Machine
+from repro.sim import Simulator, Tracer
+from repro.sim.trace import emit
+
+IDUMMY = InterfaceSpec.from_methods(
+    "ITrace", (MethodSpec("Nop", params=(), result="int"),))
+
+
+class TracedOffcode(Offcode):
+    BINDNAME = "trace.Demo"
+    INTERFACES = (IDUMMY,)
+
+    def Nop(self):
+        return 7
+
+
+GUID = Guid(909)
+
+
+def test_tracer_records_and_renders():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+    sim.run(until=1_500_000)
+    emit(sim, "custom", "something happened", key=5)
+    assert tracer.emitted == 1
+    record = tracer.records[0]
+    assert record.time_ns == 1_500_000
+    assert record.category == "custom"
+    assert ("key", 5) in record.fields
+    assert "1.500ms" in record.render()
+    assert "something happened" in tracer.render()
+
+
+def test_tracer_category_filter():
+    sim = Simulator()
+    tracer = Tracer(sim, categories={"a"})
+    sim.tracer = tracer
+    emit(sim, "a", "kept")
+    emit(sim, "b", "dropped")
+    assert [r.message for r in tracer.records] == ["kept"]
+    assert tracer.wants("a") and not tracer.wants("b")
+
+
+def test_tracer_disabled_and_capacity():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=3)
+    sim.tracer = tracer
+    for i in range(5):
+        emit(sim, "x", f"m{i}")
+    assert len(tracer.records) == 3
+    assert tracer.records[0].message == "m2"
+    tracer.enabled = False
+    emit(sim, "x", "ignored")
+    assert len(tracer.records) == 3
+    tracer.clear()
+    assert len(tracer.records) == 0
+
+
+def test_emit_without_tracer_is_noop():
+    sim = Simulator()
+    emit(sim, "x", "nothing listens")   # must not raise
+
+
+def test_deployment_and_channels_are_traced():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+    machine = Machine(sim)
+    machine.add_nic()
+    runtime = HydraRuntime(machine)
+    odf = OdfDocument(bindname="trace.Demo", guid=GUID,
+                      interfaces=[IDUMMY],
+                      targets=[DeviceClassFilter(DeviceClass.NETWORK)])
+    runtime.library.register("/t.odf", odf)
+    runtime.depot.register(GUID, TracedOffcode)
+    out = {}
+
+    def app():
+        result = yield from runtime.create_offcode("/t.odf")
+        out["v"] = yield from result.proxy.Nop()
+
+    sim.run_until_event(sim.spawn(app()))
+    assert out["v"] == 7
+    categories = {r.category for r in tracer.records}
+    assert {"deploy", "offcode", "channel"} <= categories
+    offcode_msgs = [r.message for r in tracer.of_category("offcode")]
+    assert any("initialized" in m for m in offcode_msgs)
+    assert any("started" in m for m in offcode_msgs)
+    deploys = tracer.of_category("deploy")
+    assert any("complete" in r.message for r in deploys)
+    # Records are time-ordered and filterable by time.
+    times = [r.time_ns for r in tracer.records]
+    assert times == sorted(times)
+    assert tracer.since(times[-1])[-1] is tracer.records[-1]

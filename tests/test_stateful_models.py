@@ -1,0 +1,146 @@
+"""Model-based stateful tests (hypothesis RuleBasedStateMachine).
+
+Long random operation interleavings against reference models for the
+two allocators whose corruption would silently poison everything above
+them: the device memory allocator (loader correctness) and the resource
+tree (teardown correctness).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    consumes,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import DeviceMemoryError, ResourceError
+from repro.hw.device import DeviceMemoryAllocator
+from repro.core.resources import ResourceTree
+
+import pytest
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Random alloc/free sequences vs an interval reference model."""
+
+    regions = Bundle("regions")
+
+    def __init__(self):
+        super().__init__()
+        self.allocator = DeviceMemoryAllocator(capacity=64 * 1024, base=0)
+        self.live = {}
+
+    @rule(target=regions, size=st.integers(min_value=1, max_value=9000))
+    def allocate(self, size):
+        try:
+            region = self.allocator.allocate(size, label=f"r{size}")
+        except DeviceMemoryError:
+            # Only legitimate when a sufficiently large hole is absent.
+            assert size > 0
+            return None
+        assert region.base % 16 == 0 or region.base == 0
+        self.live[region.base] = region
+        return region
+
+    @rule(region=consumes(regions))
+    def free(self, region):
+        if region is None:
+            return
+        if region.base not in self.live:
+            with pytest.raises(DeviceMemoryError):
+                self.allocator.free(region)
+            return
+        self.allocator.free(region)
+        del self.live[region.base]
+
+    @invariant()
+    def no_overlap_and_conserved(self):
+        spans = sorted((r.base, r.end) for r in self.live.values())
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        assert (self.allocator.used_bytes
+                == sum(r.size for r in self.live.values()))
+        assert (self.allocator.used_bytes + self.allocator.free_bytes
+                == self.allocator.capacity)
+
+
+class ResourceTreeMachine(RuleBasedStateMachine):
+    """Random track/attach/release sequences vs a parent-map model."""
+
+    nodes = Bundle("nodes")
+
+    def __init__(self):
+        super().__init__()
+        self.tree = ResourceTree()
+        self.counter = 0
+        self.parent_of = {}       # name -> parent name or None (root)
+        self.alive = set()
+        self.finalized = []
+
+    def _descendants(self, name):
+        out = {name}
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for child, parent in self.parent_of.items():
+                if parent == current and child in self.alive:
+                    out.add(child)
+                    frontier.append(child)
+        return out
+
+    @rule(target=nodes)
+    def track_root_child(self):
+        name = f"n{self.counter}"
+        self.counter += 1
+        self.tree.track(name, finalizer=lambda n=name:
+                        self.finalized.append(n))
+        self.parent_of[name] = None
+        self.alive.add(name)
+        return name
+
+    @rule(target=nodes, parent=nodes)
+    def track_child(self, parent):
+        if parent not in self.alive:
+            return None
+        name = f"n{self.counter}"
+        self.counter += 1
+        self.tree.track(name, parent=self.tree.lookup(parent),
+                        finalizer=lambda n=name: self.finalized.append(n))
+        self.parent_of[name] = parent
+        self.alive.add(name)
+        return name
+
+    @rule(name=nodes)
+    def release(self, name):
+        if name is None:
+            return
+        if name not in self.alive:
+            with pytest.raises(ResourceError):
+                self.tree.release(name)
+            return
+        doomed = self._descendants(name)
+        errors = self.tree.release(name)
+        assert errors == []
+        self.alive -= doomed
+        # Every doomed node was finalized exactly once, in total.
+        assert set(self.finalized) >= doomed
+
+    @invariant()
+    def live_count_matches_model(self):
+        assert self.tree.live_count == len(self.alive)
+
+    @invariant()
+    def finalizers_ran_once_each(self):
+        assert len(self.finalized) == len(set(self.finalized))
+
+
+TestAllocatorStateful = AllocatorMachine.TestCase
+TestAllocatorStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None)
+
+TestResourceTreeStateful = ResourceTreeMachine.TestCase
+TestResourceTreeStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None)

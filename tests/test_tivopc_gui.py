@@ -1,0 +1,84 @@
+"""Tests for the GUI component: pause / play / rewind controls."""
+
+import pytest
+
+from repro.errors import HydraError
+from repro.tivopc import OffloadedClient, OffloadedServer, Testbed, \
+    TestbedConfig
+from repro.tivopc.gui import GuiController
+
+
+@pytest.fixture()
+def world():
+    testbed = Testbed(TestbedConfig(seed=6))
+    testbed.start()
+    client = OffloadedClient(testbed)
+    client.start()
+    server = OffloadedServer(testbed)
+    server.start()
+    gui = GuiController(client)
+    testbed.run(2)     # deploy + stream a little
+    return testbed, client, server, gui
+
+
+def control(testbed, generator):
+    return testbed.sim.run_until_event(testbed.sim.spawn(generator))
+
+
+def test_pause_freezes_viewing_but_keeps_recording(world):
+    testbed, client, server, gui = world
+    assert control(testbed, gui.pause()) is True
+    frames_at_pause = client.frames_shown
+    recorded_at_pause = client.bytes_recorded
+    chunks_at_pause = client.chunks_received
+    testbed.run(3)
+    # Picture frozen...
+    assert client.frames_shown <= frames_at_pause + 1
+    # ...but the stream kept flowing and the recording kept growing.
+    assert client.chunks_received > chunks_at_pause + 400
+    assert client.bytes_recorded > recorded_at_pause + 400_000
+    assert control(testbed, gui.is_paused()) is True
+
+
+def test_play_resumes_decoding(world):
+    testbed, client, server, gui = world
+    control(testbed, gui.pause())
+    testbed.run(2)
+    frozen = client.frames_shown
+    assert control(testbed, gui.play()) is True
+    testbed.run(3)
+    assert client.frames_shown > frozen + 50
+    assert control(testbed, gui.is_paused()) is False
+
+
+def test_rewind_replays_from_disk(world):
+    testbed, client, server, gui = world
+    testbed.run(3)
+    server.stop()
+    testbed.run(0.3)
+    frames_live = client.frames_shown
+    gui.rewind()
+    testbed.run(3)
+    assert client.frames_shown > frames_live
+    assert gui.control_calls == 1
+
+
+def test_control_traffic_is_tiny(world):
+    """"Only control information passes between them": the GUI's calls
+    are a few dozen bytes, dwarfed by the data plane."""
+    testbed, client, server, gui = world
+    control(testbed, gui.pause())
+    control(testbed, gui.play())
+    channel = gui._proxy.channel
+    assert channel.messages_sent == 2
+    assert channel.bytes_sent < 200
+    assert client.data_channel.bytes_sent > 100_000
+
+
+def test_gui_before_deployment_rejected():
+    testbed = Testbed(TestbedConfig(seed=6))
+    testbed.start()
+    client = OffloadedClient(testbed)   # not started
+    gui = GuiController(client)
+    with pytest.raises(HydraError):
+        gui._streamer_proxy()

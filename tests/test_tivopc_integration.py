@@ -1,0 +1,191 @@
+"""Integration tests: the full testbed, all server and client variants.
+
+Short runs (a few simulated seconds) with loose bounds; the benchmarks
+carry the precise paper-vs-measured comparisons.
+"""
+
+import pytest
+
+from repro import units
+from repro.tivopc import (
+    MeasurementClient,
+    OffloadedClient,
+    OffloadedServer,
+    SendfileServer,
+    SimpleServer,
+    Testbed,
+    TestbedConfig,
+    UserSpaceClient,
+)
+
+
+@pytest.fixture()
+def testbed():
+    tb = Testbed(TestbedConfig(seed=3))
+    tb.start()
+    return tb
+
+
+# -- testbed assembly -------------------------------------------------------------------
+
+def test_testbed_topology(testbed):
+    assert testbed.switch.stations() == ["client", "client-disk", "nas",
+                                         "server"]
+    assert testbed.client_disk.remote_backed
+    assert "gpu0" in testbed.client.machine.devices
+    assert testbed.server.machine.spec.cpu.frequency_hz == \
+        pytest.approx(2.4e9)
+    assert testbed.server.machine.l2.config.size_bytes == 256 * 1024
+
+
+def test_testbed_start_idempotent(testbed):
+    testbed.start()   # second call is a no-op
+    testbed.run(0.5)
+    assert testbed.server.kernel.ticks > 0
+    assert testbed.client.kernel.ticks > 0
+
+
+def test_idle_baseline(testbed):
+    testbed.run(8)
+    for host in (testbed.server, testbed.client):
+        util = host.machine.cpu.utilization()
+        assert 0.02 < util < 0.04
+        assert host.machine.l2.stats.misses > 0
+
+
+# -- server variants --------------------------------------------------------------------
+
+def drive_server(testbed, server_cls, seconds=6):
+    client = MeasurementClient(testbed)
+    client.start()
+    server = server_cls(testbed)
+    server.start()
+    testbed.run(seconds)
+    return server, client
+
+
+def test_simple_server_stream_reaches_client(testbed):
+    server, client = drive_server(testbed, SimpleServer)
+    assert server.packets_sent > 700
+    # A handful may be in flight; all others arrived.
+    assert client.jitter.packet_count >= server.packets_sent - 5
+    stats = client.jitter.stats()
+    assert 6.5 < stats.average < 7.5
+
+
+def test_sendfile_server_faster_than_simple(testbed):
+    server, client = drive_server(testbed, SendfileServer)
+    stats = client.jitter.stats()
+    assert 5.7 < stats.average < 6.4
+
+
+def test_offloaded_server_deploys_and_paces_exactly(testbed):
+    server, client = drive_server(testbed, OffloadedServer)
+    assert server.broadcast is not None
+    assert server.broadcast.location == "nic0"
+    assert server.file.location == "nic0"
+    stats = client.jitter.stats()
+    assert stats.average == pytest.approx(5.0, abs=0.01)
+    # The host CPU did not serve packets: its share ~= the idle share.
+    util = testbed.server.machine.cpu.utilization()
+    assert util < 0.04
+
+
+def test_offloaded_server_reads_movie_from_nas(testbed):
+    server, client = drive_server(testbed, OffloadedServer)
+    assert server.file.bytes_read > 500 * 1024
+    assert testbed.nfs_server.reads_served > 0
+
+
+def test_server_stop_halts_stream(testbed):
+    server, client = drive_server(testbed, SimpleServer, seconds=3)
+    server.stop()
+    count = client.jitter.packet_count
+    testbed.run(2)
+    assert client.jitter.packet_count <= count + 2
+
+
+# -- client variants ----------------------------------------------------------------------
+
+def test_user_space_client_full_pipeline(testbed):
+    client = UserSpaceClient(testbed)
+    client.start()
+    OffloadedServer(testbed).start()
+    testbed.run(8)
+    assert client.chunks_received > 1000
+    assert client.frames_shown > 100
+    assert client.bytes_recorded > 1_000_000
+    # Recording actually landed on the NAS.
+    assert testbed.nfs_server.files.get("recording.mpg", 0) > 500_000
+    # Host CPU paid for it.
+    assert testbed.client.machine.cpu.utilization() > 0.05
+
+
+def test_offloaded_client_full_pipeline(testbed):
+    client = OffloadedClient(testbed)
+    client.start()
+    OffloadedServer(testbed).start()
+    testbed.run(8)
+    assert client.chunks_received > 1000
+    assert client.frames_shown > 100
+    assert client.bytes_recorded > 1_000_000
+    assert testbed.nfs_server.files.get("recording.mpg", 0) > 500_000
+    # "no components left on the host processor": idle-level CPU.
+    assert testbed.client.machine.cpu.utilization() < 0.04
+    # Figure-8 placements held.
+    assert client.net_streamer.location == "nic0"
+    assert client.disk_streamer.location == "disk0"
+    assert client.decoder.location == "gpu0"
+    assert client.display.location == "gpu0"
+    assert client.file.location == "disk0"
+
+
+def test_offloaded_client_multicast_single_transaction(testbed):
+    client = OffloadedClient(testbed)
+    client.start()
+    OffloadedServer(testbed).start()
+    testbed.run(4)
+    bus = testbed.client.machine.bus
+    # Each chunk crossed NIC->GPU and NIC->disk...
+    assert bus.crossings[("nic0", "gpu0")] > 500
+    assert bus.crossings[("nic0", "disk0")] > 500
+    # ...but host memory stayed out of the data path (only the few
+    # deployment-time image transfers touched it).
+    assert bus.host_memory_crossings() < 30
+
+
+def test_offloaded_client_playback(testbed):
+    client = OffloadedClient(testbed)
+    client.start()
+    server = OffloadedServer(testbed)
+    server.start()
+    testbed.run(5)
+    server.stop()
+    testbed.run(0.5)
+    frames_live = client.frames_shown
+    client.start_playback()
+    testbed.run(3)
+    # Playback re-decoded stored chunks through the same GPU pipeline.
+    assert client.frames_shown > frames_live
+    assert client.file.bytes_read > 0
+
+
+def test_both_clients_have_same_output_different_cost(testbed):
+    """The framework's promise: identical application behaviour, the
+    difference is *where* it runs."""
+    results = {}
+    for kind, cls in (("user", UserSpaceClient),
+                      ("offloaded", OffloadedClient)):
+        tb = Testbed(TestbedConfig(seed=9))
+        tb.start()
+        client = cls(tb)
+        client.start()
+        OffloadedServer(tb).start()
+        tb.run(6)
+        results[kind] = (client.frames_shown, client.bytes_recorded,
+                         tb.client.machine.cpu.utilization())
+    user_frames, user_bytes, user_cpu = results["user"]
+    off_frames, off_bytes, off_cpu = results["offloaded"]
+    assert abs(user_frames - off_frames) <= 2
+    assert abs(user_bytes - off_bytes) <= 4096
+    assert off_cpu < user_cpu / 2

@@ -1,0 +1,79 @@
+"""Tests for the units helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+# -- units ------------------------------------------------------------------------
+
+def test_time_constants():
+    assert units.US == 1_000
+    assert units.MS == 1_000_000
+    assert units.SECOND == 1_000_000_000
+    assert units.MINUTE == 60 * units.SECOND
+
+
+def test_time_conversions_roundtrip():
+    assert units.ns_to_s(units.s_to_ns(1.5)) == pytest.approx(1.5)
+    assert units.ns_to_ms(units.ms_to_ns(7.25)) == pytest.approx(7.25)
+    assert units.ns_to_us(units.us_to_ns(0.5)) == pytest.approx(0.5)
+
+
+def test_cycles_to_ns():
+    assert units.cycles_to_ns(2_400, 2.4e9) == 1_000
+    assert units.cycles_to_ns(1, 1e9) == 1
+    with pytest.raises(ValueError):
+        units.cycles_to_ns(100, 0)
+
+
+def test_transfer_time():
+    # 1000 bytes at 1 Gbps = 8 us.
+    assert units.transfer_time_ns(1000, 1e9) == 8_000
+    assert units.transfer_time_ns(0, 1e9) == 0
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(10, 0)
+    with pytest.raises(ValueError):
+        units.transfer_time_ns(-1, 1e9)
+
+
+def test_size_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 * 1024
+    assert units.GBPS == 1_000_000_000
+
+
+# -- error hierarchy ------------------------------------------------------------------
+
+def test_all_errors_derive_from_repro_error():
+    roots = [
+        errors.SimulationError, errors.SchedulingError,
+        errors.ProcessError, errors.InterruptError,
+        errors.HardwareError, errors.BusError, errors.DeviceError,
+        errors.DeviceMemoryError, errors.OSError_, errors.SyscallError,
+        errors.SocketError, errors.FileSystemError, errors.HydraError,
+        errors.ODFError, errors.OffcodeError, errors.InterfaceError,
+        errors.MarshalError, errors.ChannelError,
+        errors.ChannelClosedError, errors.ProviderError,
+        errors.DepotError, errors.LoaderError, errors.DeploymentError,
+        errors.LayoutError, errors.InfeasibleLayoutError,
+        errors.SolverError, errors.ResourceError,
+    ]
+    for cls in roots:
+        assert issubclass(cls, errors.ReproError), cls
+
+
+def test_subsystem_grouping():
+    assert issubclass(errors.InterruptError, errors.ProcessError)
+    assert issubclass(errors.ChannelClosedError, errors.ChannelError)
+    assert issubclass(errors.InfeasibleLayoutError, errors.LayoutError)
+    assert issubclass(errors.DeviceMemoryError, errors.DeviceError)
+    # Cross-subsystem classes stay disjoint.
+    assert not issubclass(errors.ChannelError, errors.HardwareError)
+    assert not issubclass(errors.BusError, errors.HydraError)
+
+
+def test_interrupt_error_carries_cause():
+    exc = errors.InterruptError(cause={"reason": "stop"})
+    assert exc.cause == {"reason": "stop"}
+    assert "stop" in str(exc)
