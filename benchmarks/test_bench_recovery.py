@@ -1,0 +1,92 @@
+"""Recovery benchmark: NIC death mid-stream, host-fallback latency.
+
+Not a paper artifact — the paper never kills a device — but the natural
+robustness companion to Table 4: how long the fully offloaded client is
+blind after its NIC's embedded processor dies, broken into detection
+(watchdog) and repair (teardown + re-layout + host redeploy + rewiring),
+plus how quickly the media pipeline is moving frames again.
+"""
+
+from conftest import publish
+
+from repro import units
+from repro.core import WatchdogConfig
+from repro.faults import FaultPlan
+from repro.tivopc import OffloadedClient, OffloadedServer, Testbed, TestbedConfig
+
+CRASH_AT_NS = 2 * units.SECOND
+RUN_SECONDS = 8.0
+
+
+def run_recovery_scenario():
+    plan = FaultPlan().crash_device(CRASH_AT_NS, "client.nic0")
+    watchdog_config = WatchdogConfig()
+    testbed = Testbed(TestbedConfig(seed=3, fault_plan=plan,
+                                    watchdog=watchdog_config))
+    testbed.start()
+    client = OffloadedClient(testbed, host_fallback=True)
+    client.start()
+    OffloadedServer(testbed).start()
+
+    runtime = testbed.client_runtime
+    testbed.run(CRASH_AT_NS / units.SECOND)
+    frames_before_crash = client.frames_shown
+
+    # Step in 1 ms increments to timestamp recovery milestones.
+    while not (runtime.incidents and runtime.incidents[0].recovered):
+        testbed.run(0.001)
+    frames_at_recovery = client.frames_shown
+    while client.frames_shown <= frames_at_recovery:
+        testbed.run(0.001)
+    first_frame_ns = testbed.sim.now
+
+    testbed.run(RUN_SECONDS - testbed.sim.now / units.SECOND)
+    incident = runtime.incidents[0]
+    return testbed, client, incident, frames_before_crash, first_frame_ns
+
+
+def render_recovery(testbed, client, incident, frames_before_crash,
+                    first_frame_ns):
+    watchdog = testbed.client_runtime.watchdog
+    detection_ns = incident.died_at_ns - CRASH_AT_NS
+    blind_ns = first_frame_ns - CRASH_AT_NS
+    lines = [
+        "Recovery after client NIC crash (fully offloaded client)",
+        "=" * 58,
+        f"crash injected at        {CRASH_AT_NS / units.MS:10.3f} ms",
+        f"death declared at        {incident.died_at_ns / units.MS:10.3f} ms"
+        f"   (detection {detection_ns / units.MS:.3f} ms at a "
+        f"{watchdog.config.period_ns / units.MS:.0f} ms beat)",
+        f"recovery complete at     {incident.recovered_at_ns / units.MS:10.3f} ms"
+        f"   (repair {incident.latency_ns / units.MS:.3f} ms)",
+        f"first frame after crash  {first_frame_ns / units.MS:10.3f} ms"
+        f"   (blind for <= {blind_ns / units.MS:.0f} ms, 1 ms probe)",
+        f"victim offcodes          {', '.join(incident.victims)}",
+        f"fallback placement       "
+        f"{incident.placement.get('tivopc.NetStreamer')}",
+        f"frames shown  pre-crash  {frames_before_crash:10d}",
+        f"frames shown  end of run {client.frames_shown:10d}",
+        f"bytes recorded           {client.bytes_recorded:10d}",
+        f"frames dropped at NIC    {testbed.client.nic.rx_dropped_dead:10d}",
+    ]
+    return "\n".join(lines)
+
+
+def test_bench_recovery(one_shot):
+    testbed, client, incident, frames_before_crash, first_frame_ns = \
+        one_shot(run_recovery_scenario)
+    publish("recovery",
+            render_recovery(testbed, client, incident, frames_before_crash,
+                            first_frame_ns))
+
+    assert incident.recovered
+    assert incident.latency_ns > 0
+    # Detection is bounded by period * threshold + deadline.
+    cfg = testbed.client_runtime.watchdog.config
+    bound = cfg.period_ns * cfg.miss_threshold + cfg.deadline_ns \
+        + cfg.period_ns
+    assert incident.died_at_ns - CRASH_AT_NS <= bound
+    # The pipeline kept going afterwards, and quickly.
+    assert client.frames_shown > frames_before_crash
+    assert client.net_streamer.location == "host"
+    assert first_frame_ns - CRASH_AT_NS < 100 * units.MS

@@ -118,8 +118,10 @@ def run_scan(force_host: bool):
 def _host_only(runtime):
     original = runtime.resolver.build_graph
 
-    def patched(documents, force_host_option=False, pinned=None):
-        graph = original(documents, force_host_option=True, pinned=pinned)
+    def patched(documents, force_host_option=False, pinned=None,
+                exclude=None):
+        graph = original(documents, force_host_option=True, pinned=pinned,
+                         exclude=exclude)
         for node in graph.nodes.values():
             node.compat = (True,) + (False,) * (graph.num_devices - 1)
         return graph

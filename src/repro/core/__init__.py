@@ -15,12 +15,19 @@ Public surface, by concern:
 * **Layout optimization** (Section 5): :mod:`repro.core.layout`.
 """
 
-from repro.core.call import Call, ReturnDescriptor, make_call
+from repro.errors import (
+    DeviceFailedError,
+    OffloadTimeoutError,
+    RetryBudgetExceededError,
+)
+from repro.core.call import Call, CallPolicy, ReturnDescriptor, make_call
 from repro.core.channel import (
     Buffering,
     Channel,
     ChannelConfig,
     ChannelKind,
+    ChannelStats,
+    CorruptedPayload,
     Endpoint,
     Message,
     Reliability,
@@ -65,20 +72,30 @@ from repro.core.pseudo import (
     HeapOffcode,
     RuntimeOffcode,
 )
-from repro.core.resources import ResourceNode, ResourceTree
+from repro.core.resources import FinalizerFailure, ResourceNode, ResourceTree
 from repro.core.rings import Descriptor, DescriptorRing
-from repro.core.runtime import CreateOffcodeResult, HydraRuntime
+from repro.core.runtime import (
+    CleanupReport,
+    CreateOffcodeResult,
+    HydraRuntime,
+    RecoveryIncident,
+)
 from repro.core.sites import DeviceSite, ExecutionSite, HostSite
+from repro.core.watchdog import DeviceWatchdog, WatchdogConfig
 from repro.core.wsdl import parse_wsdl, write_wsdl
 
 __all__ = [
     "Buffering",
     "Call",
+    "CallPolicy",
     "Channel",
     "ChannelConfig",
     "ChannelExecutive",
     "ChannelExecutiveOffcode",
     "ChannelKind",
+    "ChannelStats",
+    "CleanupReport",
+    "CorruptedPayload",
     "CostMetric",
     "CreateOffcodeResult",
     "DeploymentPipeline",
@@ -87,11 +104,14 @@ __all__ = [
     "Descriptor",
     "DescriptorRing",
     "DeviceClassFilter",
+    "DeviceFailedError",
     "DeviceLinkedLoader",
     "DeviceRuntime",
     "DeviceSite",
+    "DeviceWatchdog",
     "DmaChannelProvider",
     "Endpoint",
+    "FinalizerFailure",
     "ExecutionSite",
     "Guid",
     "HeapOffcode",
@@ -114,16 +134,20 @@ __all__ = [
     "OffcodeDepot",
     "OffcodeImage",
     "OffcodeState",
+    "OffloadTimeoutError",
     "PeerDmaProvider",
     "PinnedRegion",
     "Proxy",
+    "RecoveryIncident",
     "Reliability",
     "ResourceNode",
     "ResourceTree",
+    "RetryBudgetExceededError",
     "ReturnDescriptor",
     "RuntimeOffcode",
     "SoftwareRequirements",
     "SyncMode",
+    "WatchdogConfig",
     "compile_for_target",
     "guid_from_name",
     "make_call",

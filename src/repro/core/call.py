@@ -15,15 +15,56 @@ pending event on the caller's simulator, mirroring the paper's
 from __future__ import annotations
 
 import itertools
+import random
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.errors import InterfaceError, MarshalError
+from repro.errors import ChannelError, InterfaceError, MarshalError
 from repro.core.guid import Guid
 from repro.core.interfaces import InterfaceSpec, MethodSpec
 from repro.core import marshal
 from repro.sim.engine import Event, Simulator
 
-__all__ = ["Call", "ReturnDescriptor", "make_call"]
+__all__ = ["Call", "CallPolicy", "ReturnDescriptor", "make_call"]
+
+
+@dataclass(frozen=True)
+class CallPolicy:
+    """Deadline and retry parameters for proxy invocations.
+
+    A proxy with a policy bounds every attempt by ``deadline_ns`` and
+    retries up to ``max_attempts`` times with exponential backoff
+    (``backoff_base_ns * backoff_factor**(attempt-1)``), jittered by
+    ``jitter_frac`` using the supplied simulation RNG stream — never
+    wall-clock randomness, so runs replay deterministically.
+    """
+
+    deadline_ns: int = 1_000_000
+    max_attempts: int = 3
+    backoff_base_ns: int = 200_000
+    backoff_factor: float = 2.0
+    jitter_frac: float = 0.1
+    rng: Optional[random.Random] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_ns <= 0:
+            raise ChannelError(
+                f"deadline_ns must be positive: {self.deadline_ns}")
+        if self.max_attempts <= 0:
+            raise ChannelError(
+                f"max_attempts must be positive: {self.max_attempts}")
+        if not 0 <= self.jitter_frac < 1:
+            raise ChannelError(
+                f"jitter_frac must be in [0, 1): {self.jitter_frac}")
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Backoff delay after the ``attempt``-th (1-based) timeout."""
+        delay = self.backoff_base_ns * (
+            self.backoff_factor ** max(0, attempt - 1))
+        if self.rng is not None and self.jitter_frac > 0:
+            delay *= 1.0 + self.rng.uniform(-self.jitter_frac,
+                                            self.jitter_frac)
+        return max(1, round(delay))
 
 _call_ids = itertools.count(1)
 

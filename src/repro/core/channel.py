@@ -36,7 +36,8 @@ from repro.sim.resources import Resource, Store
 from repro.sim.trace import emit as trace_emit
 
 __all__ = ["ChannelKind", "Reliability", "SyncMode", "Buffering",
-           "ChannelConfig", "Message", "Endpoint", "Channel"]
+           "ChannelConfig", "ChannelStats", "CorruptedPayload", "Message",
+           "Endpoint", "Channel"]
 
 
 class ChannelKind(enum.Enum):
@@ -81,6 +82,40 @@ class ChannelConfig:
     def with_target(self, device: Optional[str]) -> "ChannelConfig":
         """Copy of this config with ``target_device`` set (Figure 3)."""
         return replace(self, target_device=device)
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """Aggregate delivery accounting for one channel.
+
+    Snapshot produced by :meth:`Channel.stats`; chaos tests use it to
+    assert loss bookkeeping (``sent == delivered + dropped`` on a quiet
+    channel, ``corrupted`` counts messages delivered with a
+    :class:`CorruptedPayload` wrapper).
+    """
+
+    channel_id: int
+    label: str
+    sent: int
+    delivered: int
+    dropped: int
+    corrupted: int
+    bytes: int
+
+
+class CorruptedPayload:
+    """Wrapper marking a payload mangled in flight by fault injection.
+
+    Receivers on ``UNRELIABLE`` channels must treat a message whose
+    payload is a :class:`CorruptedPayload` as a checksum failure: the
+    ``original`` attribute is retained only for test introspection.
+    """
+
+    def __init__(self, original: Any) -> None:
+        self.original = original
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CorruptedPayload {self.original!r}>"
 
 
 @dataclass
@@ -211,6 +246,10 @@ class Channel:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.drops = 0
+        self.delivered = 0
+        self.corrupted = 0
+        # Fault-injection hook: payload -> "drop" | "corrupt" | None.
+        self._fault_filter: Optional[Callable[[Message], Optional[str]]] = None
         self._sequencer: Optional[Resource] = (
             Resource(creator_site.sim, capacity=1)
             if config.sync is SyncMode.SEQUENTIAL else None)
@@ -251,6 +290,35 @@ class Channel:
         """Mark the channel closed; further operations raise."""
         self.closed = True
 
+    # -- fault injection & accounting ---------------------------------------------------
+
+    def set_fault_filter(
+            self, fault_filter: Optional[Callable[[Message], Optional[str]]]
+    ) -> None:
+        """Install (or clear) a message-fault filter.
+
+        The filter sees each message after the transfer cost is paid and
+        returns ``"drop"`` (the message vanishes), ``"corrupt"`` (it is
+        delivered wrapped in :class:`CorruptedPayload`) or ``None``
+        (untouched).  Only ``UNRELIABLE`` channels accept one — reliable
+        channels promise delivery, so injecting loss there would model a
+        contract violation rather than a lossy medium.
+        """
+        if (fault_filter is not None
+                and self.config.reliability is not Reliability.UNRELIABLE):
+            raise ChannelError(
+                f"channel #{self.channel_id} is RELIABLE; fault filters "
+                "apply only to UNRELIABLE channels")
+        self._fault_filter = fault_filter
+
+    def stats(self) -> ChannelStats:
+        """Current :class:`ChannelStats` snapshot for this channel."""
+        return ChannelStats(
+            channel_id=self.channel_id, label=self.config.label,
+            sent=self.messages_sent, delivered=self.delivered,
+            dropped=self.drops, corrupted=self.corrupted,
+            bytes=self.bytes_sent)
+
     def _check_open(self) -> None:
         if self.closed:
             raise ChannelClosedError(
@@ -283,11 +351,32 @@ class Channel:
                    f"#{self.channel_id} {source.site.name} -> "
                    f"{','.join(d.site.name for d in destinations)}",
                    bytes=size_bytes, call=message.is_call)
+        if self._fault_filter is not None:
+            verdict = self._fault_filter(message)
+            if verdict == "drop":
+                # Lost on the wire *after* occupying it: cost paid, no data.
+                self.drops += 1
+                trace_emit(source.site.sim, "fault",
+                           f"#{self.channel_id} message dropped in flight",
+                           channel=self.channel_id, label=self.config.label)
+                return
+            if verdict == "corrupt":
+                self.corrupted += 1
+                trace_emit(source.site.sim, "fault",
+                           f"#{self.channel_id} message corrupted in flight",
+                           channel=self.channel_id, label=self.config.label)
+                message = Message(payload=CorruptedPayload(message.payload),
+                                  size_bytes=message.size_bytes,
+                                  sent_at_ns=message.sent_at_ns,
+                                  source=message.source)
         for destination in destinations:
             dropped_before = destination.rx.dropped
             yield from destination._deliver(message)
-            if destination.rx.dropped > dropped_before:
-                self.drops += destination.rx.dropped - dropped_before
+            delta = destination.rx.dropped - dropped_before
+            if delta > 0:
+                self.drops += delta
+            else:
+                self.delivered += 1
 
     # -- call convenience ------------------------------------------------------------------
 

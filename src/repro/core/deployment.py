@@ -130,8 +130,13 @@ class DeploymentPipeline:
             d.bindname: runtime.locate(d.bindname).location
             for d in documents if runtime.locate(d.bindname) is not None
         }
+        # Devices the watchdog has declared dead are excluded from the
+        # candidate set; a non-empty exclusion also marks the solve as
+        # degraded (recovery may drop mandatory co-location constraints).
+        exclude = sorted(getattr(runtime, "failed_devices", None) or ())
         layout = runtime.resolver.resolve(documents, objective=objective,
-                                          pinned=pinned)
+                                          pinned=pinned, exclude=exclude,
+                                          degraded=bool(exclude))
 
         report = DeploymentReport(root_bindname=roots[0], layout=layout,
                                   roots=list(roots))

@@ -115,7 +115,13 @@ class ChannelExecutive:
         sim = offcode.site.sim
 
         def deliver():
-            yield from oob.creator_endpoint.write(notice, 48)
+            # Best-effort: nobody awaits this process, and an unwatched
+            # failing process would crash the whole simulation — a notice
+            # lost to a dying device or closing channel is just lost.
+            try:
+                yield from oob.creator_endpoint.write(notice, 48)
+            except Exception:
+                pass
 
         sim.spawn(deliver(), name=f"oob-notice-{offcode.bindname}")
 

@@ -17,7 +17,7 @@ and the Offcode Depot, the resolver:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import InfeasibleLayoutError, LayoutError
 from repro.core.depot import OffcodeDepot
@@ -68,15 +68,22 @@ class OffloadLayoutResolver:
 
     def build_graph(self, documents: Sequence[OdfDocument],
                     force_host_option: bool = False,
-                    pinned: Optional[Dict[str, str]] = None) -> LayoutGraph:
+                    pinned: Optional[Dict[str, str]] = None,
+                    exclude: Optional[Iterable[str]] = None) -> LayoutGraph:
         """One node per document, edges from the ODF import references.
 
         ``pinned`` fixes the placement of already-deployed Offcodes:
         reusing an Offcode across applications (the Section 5 motivation
         for the ILP) means later deployments must respect where the
         shared instance already runs.
+
+        ``exclude`` removes devices from the candidate set entirely —
+        the recovery path uses it to re-solve a layout with a crashed
+        device gone, as if it were never installed.
         """
-        devices = ["host"] + sorted(self.machine.devices)
+        excluded = frozenset(exclude or ())
+        devices = ["host"] + sorted(
+            name for name in self.machine.devices if name not in excluded)
         graph = LayoutGraph(devices)
         by_bindname = {d.bindname: d for d in documents}
         pinned = pinned or {}
@@ -130,11 +137,22 @@ class OffloadLayoutResolver:
 
     def resolve(self, documents: Sequence[OdfDocument],
                 objective: Optional[Objective] = None,
-                pinned: Optional[Dict[str, str]] = None) -> ResolvedLayout:
-        """Full pipeline: graph, solve, relax, host-fallback."""
+                pinned: Optional[Dict[str, str]] = None,
+                exclude: Optional[Iterable[str]] = None,
+                degraded: bool = False) -> ResolvedLayout:
+        """Full pipeline: graph, solve, relax, host-fallback.
+
+        ``degraded`` marks a post-failure re-solve: the final host
+        fallback then drops *every* placement constraint, including
+        mandatory (priority 0) ones such as GANG edges.  That is sound
+        only because recovery pins all surviving Offcodes in place —
+        the solver merely chooses homes for the victims — and a dead
+        device cannot honour a co-location promise anyway.
+        """
         objective = objective or MaximizeOffloading()
         try:
-            graph = self.build_graph(documents, pinned=pinned)
+            graph = self.build_graph(documents, pinned=pinned,
+                                     exclude=exclude)
         except LayoutError:
             # Some Offcode matches no installed device; fall through to
             # the host-fallback attempt below.
@@ -161,12 +179,13 @@ class OffloadLayoutResolver:
         # Offcode and re-solve with no droppable constraints.
         try:
             fallback_graph = self.build_graph(
-                documents, force_host_option=True, pinned=pinned)
+                documents, force_host_option=True, pinned=pinned,
+                exclude=exclude)
         except LayoutError as exc:
             raise InfeasibleLayoutError(
                 f"no feasible layout even with host fallback: {exc}"
             ) from exc
-        bare = fallback_graph.without_constraints_below(1)
+        bare = fallback_graph.without_constraints_below(0 if degraded else 1)
         result = self._try_solve(bare, objective)
         if result is not None:
             fallbacks = [name for name, k in result.placement.items()

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional, Tuple
 
-from repro.errors import InterfaceError, InterruptError, OffcodeError
+from repro.errors import (DeviceFailedError, InterfaceError, InterruptError,
+                          OffcodeError)
 from repro.core.call import Call
 from repro.core.guid import Guid, guid_from_name
 from repro.core.interfaces import IOFFCODE, InterfaceSpec
@@ -126,11 +127,22 @@ class Offcode:
                 name=f"{self.bindname}@{self.location}")
 
     def _run_main(self, generator) -> Generator[Event, None, None]:
-        """Wrap the thread of control so stop() terminates it cleanly."""
+        """Wrap the thread of control so stop() terminates it cleanly.
+
+        A crash of the hosting device surfaces here as
+        :class:`DeviceFailedError`; the thread dies quietly (the
+        watchdog/runtime own the recovery) instead of taking the whole
+        simulation down as an unwatched failing process would.
+        """
         try:
             yield from generator
         except InterruptError:
             pass
+        except DeviceFailedError:
+            self.state = OffcodeState.FAILED
+            trace_emit(self.site.sim, "fault",
+                       f"{self.bindname}@{self.location} thread died with "
+                       "its device")
 
     def stop(self) -> Generator[Event, None, None]:
         """Tear down; interrupts the thread of control if it is waiting."""

@@ -19,14 +19,15 @@ Two styles are supported:
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
-from repro.errors import InterfaceError
+from repro.errors import InterfaceError, RetryBudgetExceededError
 from repro.core import marshal
-from repro.core.call import Call, make_call
+from repro.core.call import Call, CallPolicy, make_call
 from repro.core.channel import Channel, Endpoint
 from repro.core.interfaces import InterfaceSpec
 from repro.sim.engine import Event
+from repro.sim.trace import emit as trace_emit
 
 __all__ = ["Proxy"]
 
@@ -54,15 +55,32 @@ class Proxy:
     """User-space stand-in for a (possibly remote) Offcode interface."""
 
     def __init__(self, interface: InterfaceSpec, channel: Channel,
-                 endpoint: Endpoint) -> None:
+                 endpoint: Endpoint,
+                 policy: Optional[CallPolicy] = None) -> None:
         self.interface = interface
         self.channel = channel
         self.endpoint = endpoint
+        self.policy = policy
         self.invocations = 0
+        self.timeouts = 0
+
+    def set_policy(self, policy: Optional[CallPolicy]) -> None:
+        """Install (or clear) the deadline/retry policy for this proxy."""
+        self.policy = policy
 
     def invoke(self, method_name: str, *args: Any
                ) -> Generator[Event, None, Any]:
-        """Build, send and (for two-way methods) await one invocation."""
+        """Build, send and (for two-way methods) await one invocation.
+
+        With a :class:`~repro.core.call.CallPolicy` installed, each
+        attempt is deadline-bounded and timed-out attempts are retried
+        with backoff; exhausting the budget raises
+        :class:`~repro.errors.RetryBudgetExceededError` (a subclass of
+        ``OffloadTimeoutError``) instead of hanging the caller.
+        """
+        if self.policy is not None:
+            result = yield from self._invoke_with_policy(method_name, args)
+            return result
         sim = self.endpoint.site.sim
         call = make_call(sim, self.interface, method_name, args)
         marshal_ns = _MARSHAL_FIXED_NS + round(
@@ -73,6 +91,58 @@ class Proxy:
         if call.one_way:
             return None
         return marshal.decode(encoded)
+
+    def _invoke_with_policy(self, method_name: str, args: tuple
+                            ) -> Generator[Event, None, Any]:
+        sim = self.endpoint.site.sim
+        policy = self.policy
+        for attempt in range(1, policy.max_attempts + 1):
+            # Fresh Call per attempt: return descriptors are one-shot.
+            call = make_call(sim, self.interface, method_name, args)
+            marshal_ns = _MARSHAL_FIXED_NS + round(
+                len(call.encoded_args) * _MARSHAL_NS_PER_BYTE)
+            yield from self.endpoint.site.execute(marshal_ns, context="proxy")
+            outcome: dict = {}
+
+            def attempt_body(call: Call = call, outcome: dict = outcome
+                             ) -> Generator[Event, None, None]:
+                try:
+                    encoded = yield from self.channel.send_call(
+                        self.endpoint, call)
+                    outcome["result"] = ("ok", encoded)
+                except Exception as exc:
+                    outcome["result"] = ("error", exc)
+
+            proc = sim.spawn(
+                attempt_body(),
+                name=f"proxy-{self.interface.name}.{method_name}-a{attempt}")
+            yield sim.any_of([proc, sim.timeout(policy.deadline_ns)])
+            if "result" in outcome:
+                status, value = outcome["result"]
+                if status == "ok":
+                    self.invocations += 1
+                    return None if call.one_way else marshal.decode(value)
+                # Non-timeout failures (remote exception, dead device,
+                # closed channel) are not retried — the caller must react.
+                raise value
+            # Deadline expired.  The attempt process is deliberately left
+            # to finish (or never finish) on its own: interrupting it
+            # while it waits on the channel sequencer would leak the slot
+            # and wedge the channel for everyone else.  Its eventual
+            # result lands in an outcome dict nobody reads.
+            self.timeouts += 1
+            trace_emit(sim, "fault",
+                       f"proxy {self.interface.name}.{method_name} attempt "
+                       f"{attempt}/{policy.max_attempts} missed deadline",
+                       interface=self.interface.name, method=method_name,
+                       attempt=attempt, deadline_ns=policy.deadline_ns)
+            if attempt < policy.max_attempts:
+                yield sim.timeout(policy.backoff_ns(attempt))
+        raise RetryBudgetExceededError(
+            f"{self.interface.name}.{method_name}: all "
+            f"{policy.max_attempts} attempt(s) missed their "
+            f"{policy.deadline_ns} ns deadline",
+            attempts=policy.max_attempts)
 
     def send_raw(self, call: Call) -> Generator[Event, None, Any]:
         """Manual scheme: send a pre-built Call object."""

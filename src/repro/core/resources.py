@@ -13,11 +13,26 @@ bad destructor cannot leak its siblings.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ResourceError
 
-__all__ = ["ResourceNode", "ResourceTree"]
+__all__ = ["FinalizerFailure", "ResourceNode", "ResourceTree"]
+
+
+@dataclass(frozen=True)
+class FinalizerFailure:
+    """One finalizer that raised during a subtree teardown.
+
+    Carries enough context (which resource, what kind, what blew up) for
+    :meth:`repro.core.runtime.HydraRuntime.fail_offcode` to build its
+    :class:`~repro.core.runtime.CleanupReport` without re-walking the tree.
+    """
+
+    key: str
+    kind: str
+    exception: Exception
 
 
 class ResourceNode:
@@ -52,14 +67,14 @@ class ResourceNode:
             return 0
         return 1 + sum(c.subtree_size() for c in self.children)
 
-    def free(self) -> List[Exception]:
-        """Free the subtree, children first.  Returns finalizer errors."""
+    def free(self) -> List[FinalizerFailure]:
+        """Free the subtree, children first.  Returns finalizer failures."""
         if self.freed:
             raise ResourceError(f"double free of resource {self.name!r}")
-        errors: List[Exception] = []
+        failures: List[FinalizerFailure] = []
         for child in reversed(self.children):
             if not child.freed:
-                errors.extend(child.free())
+                failures.extend(child.free())
         self.freed = True
         if self.parent is not None:
             try:
@@ -70,8 +85,9 @@ class ResourceNode:
             try:
                 self.finalizer()
             except Exception as exc:  # collected, not raised mid-teardown
-                errors.append(exc)
-        return errors
+                failures.append(FinalizerFailure(
+                    key=self.name, kind=self.kind, exception=exc))
+        return failures
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "freed" if self.freed else f"{len(self.children)} children"
@@ -105,7 +121,7 @@ class ResourceTree:
             raise ResourceError(f"no live resource named {name!r}")
         return node
 
-    def release(self, name: str) -> List[Exception]:
+    def release(self, name: str) -> List[FinalizerFailure]:
         """Free one named subtree."""
         return self.lookup(name).free()
 

@@ -25,11 +25,11 @@ executive exactly as in Figure 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Generator, Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Set
 
 from repro.errors import HydraError, OffcodeError
-from repro.core.channel import Channel, ChannelConfig
+from repro.core.channel import Channel, ChannelConfig, ChannelStats
 from repro.core.deployment import DeploymentPipeline, DeploymentReport
 from repro.core.depot import OffcodeDepot
 from repro.core.devruntime import DeviceRuntime
@@ -51,12 +51,71 @@ from repro.core.pseudo import (
     HeapOffcode,
     RuntimeOffcode,
 )
-from repro.core.resources import ResourceTree
+from repro.core.resources import FinalizerFailure, ResourceTree
 from repro.core.sites import ExecutionSite, HostSite
+from repro.core.watchdog import DeviceWatchdog, WatchdogConfig
 from repro.hw.machine import Machine
 from repro.sim.engine import Event, Simulator
+from repro.sim.trace import emit as trace_emit
 
-__all__ = ["HydraRuntime", "CreateOffcodeResult"]
+__all__ = ["HydraRuntime", "CreateOffcodeResult", "CleanupReport",
+           "RecoveryIncident"]
+
+
+@dataclass
+class CleanupReport:
+    """What :meth:`HydraRuntime.fail_offcode` tore down, and how it went.
+
+    Wraps the finalizer failures collected during a subtree release with
+    the identity of the failed Offcode, so callers (and the trace log)
+    know *whose* destructor misbehaved rather than receiving a bare
+    exception list.
+    """
+
+    bindname: str
+    failures: List[FinalizerFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every finalizer ran cleanly."""
+        return not self.failures
+
+    @property
+    def errors(self) -> List[Exception]:
+        """Just the exceptions, for callers that only count them."""
+        return [failure.exception for failure in self.failures]
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+
+@dataclass
+class RecoveryIncident:
+    """One device death handled by :meth:`HydraRuntime.on_device_failure`.
+
+    ``latency_ns`` — declared-dead to recovery-complete — is the metric
+    the chaos scenario and the recovery benchmark track.
+    """
+
+    device: str
+    died_at_ns: int
+    victims: List[str] = field(default_factory=list)
+    reports: List[CleanupReport] = field(default_factory=list)
+    placement: Dict[str, str] = field(default_factory=dict)
+    recovered_at_ns: Optional[int] = None
+    error: Optional[str] = None
+
+    @property
+    def recovered(self) -> bool:
+        """True once the victims were re-deployed (or none existed)."""
+        return self.recovered_at_ns is not None
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        """Death-declaration to recovery-complete, in sim ns."""
+        if self.recovered_at_ns is None:
+            return None
+        return self.recovered_at_ns - self.died_at_ns
 
 
 @dataclass
@@ -96,6 +155,14 @@ class HydraRuntime:
                                               solver=solver)
         self._registry: Dict[str, Offcode] = {}
         self._documents: Dict[str, OdfDocument] = {}
+
+        # Fault handling: devices declared dead, the watchdog (armed on
+        # demand), the incident log, and recovery hooks applications use
+        # to rewire data channels after a host-fallback redeploy.
+        self.failed_devices: Set[str] = set()
+        self.watchdog: Optional[DeviceWatchdog] = None
+        self.incidents: List[RecoveryIncident] = []
+        self._recovery_hooks: List[Callable] = []
 
         # One device runtime per programmable device, each with its own
         # DMA channel provider ("an extended driver for each device").
@@ -250,25 +317,134 @@ class HydraRuntime:
             if runtime.find(bindname) is not None:
                 runtime.evict_offcode(bindname)
 
-    def fail_offcode(self, bindname: str) -> list:
+    def fail_offcode(self, bindname: str) -> CleanupReport:
         """Crash handling: kill the Offcode and release its subtree.
 
         "Resources are managed hierarchically to allow for robust
         clean-up of child resources in the case of a failing parent
-        object" (Section 4).  Returns any finalizer errors collected
-        during teardown (never raised mid-cleanup).
+        object" (Section 4).  Returns a :class:`CleanupReport`; finalizer
+        failures are collected (and traced), never raised mid-cleanup.
         """
         offcode = self.get_offcode(bindname)
         offcode.kill()
-        errors: list = []
+        failures: List[FinalizerFailure] = []
         if bindname in self._registry:
             del self._registry[bindname]
             self._documents.pop(bindname, None)
-            errors = self.resources.release(bindname)
+            failures = self.resources.release(bindname)
         for runtime in self.device_runtimes.values():
             if runtime.find(bindname) is not None:
                 runtime.evict_offcode(bindname)
-        return errors
+        report = CleanupReport(bindname=bindname, failures=failures)
+        for failure in failures:
+            trace_emit(self.sim, "fault",
+                       f"finalizer of {failure.key} ({failure.kind}) "
+                       f"failed during teardown of {bindname}: "
+                       f"{failure.exception!r}",
+                       offcode=bindname, resource=failure.key)
+        return report
+
+    # -- fault detection & recovery ---------------------------------------------------
+
+    def start_watchdog(self, config: Optional[WatchdogConfig] = None
+                       ) -> DeviceWatchdog:
+        """Arm the heartbeat watchdog over every device runtime."""
+        if self.watchdog is not None:
+            raise HydraError("watchdog already started")
+        self.watchdog = DeviceWatchdog(self, config)
+        self.watchdog.start()
+        return self.watchdog
+
+    def add_recovery_hook(self, hook: Callable) -> None:
+        """Register ``hook(device_name, incident)`` — a generator run
+        after victims are re-deployed, before the incident is declared
+        recovered; applications use it to rewire data channels."""
+        self._recovery_hooks.append(hook)
+
+    def channel_stats(self) -> List[ChannelStats]:
+        """Delivery accounting snapshots for every executive channel."""
+        return [channel.stats() for channel in self.executive.channels]
+
+    def _closure_documents(self, bindname: str,
+                           collected: Dict[str, OdfDocument]) -> None:
+        document = self._documents.get(bindname)
+        if document is None or bindname in collected:
+            return
+        collected[bindname] = document
+        for imp in document.imports:
+            self._closure_documents(imp.bindname, collected)
+
+    def on_device_failure(self, name: str
+                          ) -> Generator[Event, None, None]:
+        """Full recovery path for a declared-dead device.
+
+        Kills and releases every victim Offcode on the device, closes
+        the channels touching it, fences the device into fixed-function
+        mode, re-solves the layout with the device excluded (degraded
+        mode: mandatory constraints droppable, survivors pinned) and
+        re-deploys the victims — the paper's host-based baseline.
+        Application recovery hooks then rewire data channels; only after
+        they finish is the incident stamped recovered.
+        """
+        if name in self.failed_devices:
+            return
+        device_runtime = self.device_runtime(name)
+        self.failed_devices.add(name)
+        incident = RecoveryIncident(device=name, died_at_ns=self.sim.now)
+        self.incidents.append(incident)
+        victims = [bindname for bindname in list(device_runtime.offcodes)
+                   if bindname != "hydra.Heap"]
+        incident.victims = victims
+        trace_emit(self.sim, "fault",
+                   f"device {name} declared failed; "
+                   f"{len(victims)} victim offcode(s)",
+                   device=name, victims=tuple(victims))
+
+        # Capture the ODF closures *before* fail_offcode forgets them.
+        documents: Dict[str, OdfDocument] = {}
+        for bindname in victims:
+            self._closure_documents(bindname, documents)
+
+        for bindname in victims:
+            incident.reports.append(self.fail_offcode(bindname))
+
+        # Channels with an endpoint on the dead device are gone with it.
+        dead_site = device_runtime.site
+        for channel in self.executive.channels:
+            if not channel.closed and any(
+                    endpoint.site is dead_site
+                    for endpoint in channel.endpoints):
+                channel.close()
+
+        device_runtime.device.fence()
+
+        if victims:
+            try:
+                report = yield from self.pipeline._deploy(
+                    list(documents.values()), roots=list(victims),
+                    objective=None)
+            except Exception as exc:
+                incident.error = repr(exc)
+                trace_emit(self.sim, "fault",
+                           f"recovery of {name} failed: {exc!r}",
+                           device=name)
+                return
+            incident.placement = {
+                bindname: report.location_of(bindname)
+                for bindname in report.offcodes}
+            for hook in self._recovery_hooks:
+                try:
+                    yield from hook(name, incident)
+                except Exception as exc:
+                    trace_emit(self.sim, "fault",
+                               f"recovery hook failed after {name}: "
+                               f"{exc!r}", device=name)
+
+        incident.recovered_at_ns = self.sim.now
+        trace_emit(self.sim, "fault",
+                   f"device {name} recovery complete",
+                   device=name, latency_ns=incident.latency_ns,
+                   placement=tuple(sorted(incident.placement.items())))
 
     def document_of(self, bindname: str) -> OdfDocument:
         """The ODF a deployed Offcode came from."""

@@ -61,6 +61,17 @@ class DeviceMemoryError(DeviceError):
     """Device-local memory exhausted or an invalid region was referenced."""
 
 
+class DeviceFailedError(DeviceError):
+    """An operation reached a device that has crashed.
+
+    Raised by the firmware-execution and DMA verbs of a
+    :class:`~repro.hw.device.ProgrammableDevice` whose health state is
+    ``CRASHED``: the embedded CPU no longer runs, so any work charged to
+    it (or any descriptor it would have to process) fails immediately
+    rather than hanging the simulation.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Host OS models
 # ---------------------------------------------------------------------------
@@ -143,3 +154,26 @@ class SolverError(LayoutError):
 
 class ResourceError(HydraError):
     """Hierarchical resource-management failure (double free, bad parent)."""
+
+
+class OffloadTimeoutError(HydraError):
+    """An offloaded invocation missed its per-call deadline.
+
+    The containment half of the fault model: a proxy configured with a
+    :class:`~repro.core.call.CallPolicy` bounds every attempt with a
+    deadline, so a call into a stalled device surfaces as this typed
+    error instead of blocking its caller forever.
+    """
+
+
+class RetryBudgetExceededError(OffloadTimeoutError):
+    """Every retry of a deadline-bounded invocation timed out.
+
+    Subclasses :class:`OffloadTimeoutError` so callers that only care
+    about "the call did not complete in time" need a single except
+    clause; the ``attempts`` attribute carries how many were made.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts

@@ -1,0 +1,24 @@
+"""Deterministic fault injection for the HYDRA simulation.
+
+The subsystem splits cleanly in two:
+
+* :mod:`repro.faults.plan` — a :class:`FaultPlan`: a declarative,
+  sim-clock-scheduled list of :class:`FaultEvent` records (device crash,
+  stall/resume, bus transients, channel loss/corruption).  Plans are
+  plain data; building one has no side effects.
+* :mod:`repro.faults.injector` — a :class:`FaultInjector`: a simulation
+  process that walks a plan in time order and applies each event through
+  the hooks the hardware and channel layers expose
+  (:meth:`~repro.hw.device.DeviceHealth.crash`,
+  :meth:`~repro.hw.bus.Bus.inject_transients`,
+  :meth:`~repro.core.channel.Channel.set_fault_filter`).
+
+All randomness (loss/corruption coin flips) comes from a named
+:class:`repro.sim.rng.RandomStreams` stream — never wall clock — so the
+same seed and plan replay the same failure history, byte for byte.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan"]

@@ -1,0 +1,113 @@
+"""Fault plans — declarative failure schedules on the simulation clock.
+
+A :class:`FaultPlan` is the experiment's failure script: *what* breaks,
+*when* (in sim ns), and *how badly*.  Keeping it declarative means chaos
+scenarios and benchmarks can print, diff and replay their failure
+history, and a deterministic-replay test can assert two same-seed runs
+experienced byte-identical fault sequences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.errors import ReproError
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy (see docs/fault-model.md)."""
+
+    DEVICE_CRASH = "device-crash"        # embedded CPU dies, stays dead
+    DEVICE_STALL = "device-stall"        # firmware wedges, may resume
+    DEVICE_RESUME = "device-resume"      # stalled firmware recovers
+    BUS_TRANSIENT = "bus-transient"      # soft interconnect error, replayed
+    CHANNEL_NOISE = "channel-noise"      # loss/corruption on UNRELIABLE
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` names the victim (device name, bus name, or channel
+    label); ``arg`` carries kind-specific detail (transient count, or a
+    ``(loss, corrupt)`` probability pair).
+    """
+
+    at_ns: int
+    kind: FaultKind
+    target: str
+    arg: Any = None
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ReproError(f"fault scheduled in the past: {self.at_ns}")
+
+
+class FaultPlan:
+    """An ordered schedule of fault events.
+
+    Builders return ``self`` so plans chain::
+
+        plan = (FaultPlan()
+                .stall_device(2_000_000, "nic0", duration_ns=1_000_000)
+                .crash_device(8_000_000, "nic0"))
+    """
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    # -- builders ----------------------------------------------------------------
+
+    def crash_device(self, at_ns: int, device: str) -> "FaultPlan":
+        """Hard-kill ``device`` at ``at_ns``; it never comes back."""
+        self.events.append(FaultEvent(at_ns, FaultKind.DEVICE_CRASH, device))
+        return self
+
+    def stall_device(self, at_ns: int, device: str,
+                     duration_ns: int) -> "FaultPlan":
+        """Wedge ``device`` at ``at_ns`` and resume it ``duration_ns``
+        later (the firmware-hang-then-recover failure mode)."""
+        if duration_ns <= 0:
+            raise ReproError(
+                f"stall duration must be positive: {duration_ns}")
+        self.events.append(FaultEvent(at_ns, FaultKind.DEVICE_STALL, device))
+        self.events.append(FaultEvent(at_ns + duration_ns,
+                                      FaultKind.DEVICE_RESUME, device))
+        return self
+
+    def bus_transients(self, at_ns: int, bus: str,
+                       count: int = 1) -> "FaultPlan":
+        """Arm ``count`` soft errors on ``bus`` (each doubles one
+        transaction's serialization delay)."""
+        if count <= 0:
+            raise ReproError(f"transient count must be positive: {count}")
+        self.events.append(FaultEvent(at_ns, FaultKind.BUS_TRANSIENT, bus,
+                                      arg=count))
+        return self
+
+    def channel_noise(self, at_ns: int, label: str, loss: float = 0.0,
+                      corrupt: float = 0.0) -> "FaultPlan":
+        """From ``at_ns``, drop / corrupt messages on every UNRELIABLE
+        channel labelled ``label`` with the given probabilities."""
+        if not 0 <= loss <= 1 or not 0 <= corrupt <= 1 or loss + corrupt > 1:
+            raise ReproError(
+                f"invalid noise probabilities: loss={loss} corrupt={corrupt}")
+        self.events.append(FaultEvent(at_ns, FaultKind.CHANNEL_NOISE, label,
+                                      arg=(loss, corrupt)))
+        return self
+
+    # -- consumption -------------------------------------------------------------
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in firing order (stable for equal timestamps)."""
+        return sorted(self.events, key=lambda e: e.at_ns)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultPlan {len(self.events)} event(s)>"

@@ -11,6 +11,7 @@ from repro.hw.cache import Cache, CacheConfig, CacheStats, SampledCacheMonitor
 from repro.hw.cpu import Cpu, CpuSampler, CpuSpec
 from repro.hw.device import (
     DeviceClass,
+    DeviceHealth,
     DeviceMemoryAllocator,
     DeviceSpec,
     MemoryRegion,
@@ -35,6 +36,7 @@ __all__ = [
     "CpuSampler",
     "CpuSpec",
     "DeviceClass",
+    "DeviceHealth",
     "DeviceMemoryAllocator",
     "DeviceSpec",
     "DiskSpec",

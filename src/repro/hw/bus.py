@@ -26,6 +26,7 @@ from repro import units
 from repro.errors import BusError
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Resource
+from repro.sim.trace import emit as trace_emit
 
 __all__ = ["BusSpec", "Bus", "HOST_MEMORY", "TransferRecord"]
 
@@ -78,6 +79,10 @@ class Bus:
         self.bytes_moved = 0
         self.crossings: Dict[Tuple[str, str], int] = {}
         self.record_log = False   # keep full TransferRecord list (tests/debug)
+        # Fault injection: each pending transient corrupts one transaction,
+        # which the link layer detects and replays (one extra serialization).
+        self._pending_transients = 0
+        self.transient_faults = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -98,6 +103,21 @@ class Bus:
     def endpoints(self) -> List[str]:
         """All attached endpoint names."""
         return list(self._endpoints)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject_transients(self, count: int = 1) -> None:
+        """Arm ``count`` transient errors against upcoming transactions.
+
+        Models soft interconnect errors (parity hit, replay at the link
+        layer): each armed transient makes one future transaction pay its
+        serialization delay twice while still delivering the payload, so
+        faults cost time — the quantity this simulation measures — rather
+        than data.  Used by :class:`repro.faults.FaultInjector`.
+        """
+        if count < 0:
+            raise BusError(f"transient count must be non-negative: {count}")
+        self._pending_transients += count
 
     # -- transfers -------------------------------------------------------------
 
@@ -165,6 +185,16 @@ class Bus:
         start = self.sim.now
         try:
             yield self.sim.timeout(self.transfer_time_ns(size_bytes))
+            if self._pending_transients > 0:
+                # Link-layer replay: the corrupted transaction is re-sent
+                # while the bus is still held, doubling its occupancy.
+                self._pending_transients -= 1
+                self.transient_faults += 1
+                trace_emit(self.sim, "fault",
+                           f"bus {self.spec.name}: transient error, replaying "
+                           f"{src}->{dst}", bus=self.spec.name, src=src,
+                           dst=dst, size_bytes=size_bytes)
+                yield self.sim.timeout(self.transfer_time_ns(size_bytes))
         finally:
             self._arbiter.release()
         self.bytes_moved += size_bytes

@@ -16,14 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Generator, List, Optional
 
-from repro.errors import DeviceError, DeviceMemoryError
+from repro.errors import DeviceError, DeviceFailedError, DeviceMemoryError
 from repro.hw.bus import HOST_MEMORY, Bus
 from repro.hw.cpu import Cpu, CpuSpec
 from repro.sim.engine import Event, Simulator
+from repro.sim.trace import emit as trace_emit
 
 __all__ = [
     "DeviceClass",
     "DeviceSpec",
+    "DeviceHealth",
     "MemoryRegion",
     "DeviceMemoryAllocator",
     "ProgrammableDevice",
@@ -45,6 +47,125 @@ class DeviceClass:
 # The paper's low-power comparison point: Intel XScale 600 MHz, 0.5 W.
 XSCALE_CPU = CpuSpec(name="xscale", frequency_hz=600e6,
                      active_watts=0.5, idle_watts=0.05)
+
+
+class DeviceHealth:
+    """Fault state of one device's embedded processor.
+
+    Four states model the failure modes the fault-injection subsystem
+    exercises:
+
+    * ``RUNNING`` — normal operation;
+    * ``STALLED`` — the firmware is wedged but recoverable: work queued
+      against the device waits until :meth:`resume`;
+    * ``CRASHED`` — the embedded CPU is gone; firmware execution and DMA
+      raise :class:`~repro.errors.DeviceFailedError` immediately;
+    * ``FENCED`` — post-recovery: the driver has reset the device into
+      "dumb" fixed-function mode.  The hardware datapath works again
+      (so the host receive path resumes) but the device is excluded from
+      offloading by the layout resolver.
+
+    The barrier is checked by :meth:`ProgrammableDevice.run_on_device`
+    and the DMA verbs, so every firmware process observes the fault at
+    its next instruction boundary — no polling anywhere.
+    """
+
+    RUNNING = "running"
+    STALLED = "stalled"
+    CRASHED = "crashed"
+    FENCED = "fenced"
+
+    def __init__(self, device: "ProgrammableDevice") -> None:
+        self.device = device
+        self.state = self.RUNNING
+        self.crashed_at_ns: Optional[int] = None
+        self.stalls = 0
+        self._stall_waiters: List[Event] = []
+
+    @property
+    def ok(self) -> bool:
+        """True while firmware execution can make progress."""
+        return self.state in (self.RUNNING, self.FENCED)
+
+    @property
+    def crashed(self) -> bool:
+        """True once the embedded CPU is dead (CRASHED, not FENCED)."""
+        return self.state == self.CRASHED
+
+    def crash(self) -> None:
+        """Kill the embedded processor (idempotent).
+
+        Processes blocked at the stall barrier fail with
+        :class:`~repro.errors.DeviceFailedError`; any new firmware work
+        fails at its next barrier check.
+        """
+        if self.state == self.CRASHED:
+            return
+        self.state = self.CRASHED
+        self.crashed_at_ns = self.device.sim.now
+        trace_emit(self.device.sim, "fault",
+                   f"{self.device.name} crashed")
+        waiters, self._stall_waiters = self._stall_waiters, []
+        for event in waiters:
+            event.fail(DeviceFailedError(
+                f"device {self.device.name} crashed while stalled"))
+            # Waiters are delivered into their processes; mark handled so
+            # an abandoned waiter cannot crash the engine loop.
+            event.defused = True  # type: ignore[attr-defined]
+
+    def stall(self) -> None:
+        """Wedge the firmware; queued work waits for :meth:`resume`."""
+        if self.state != self.RUNNING:
+            raise DeviceError(
+                f"cannot stall {self.device.name} while {self.state}")
+        self.state = self.STALLED
+        self.stalls += 1
+        trace_emit(self.device.sim, "fault",
+                   f"{self.device.name} stalled")
+
+    def resume(self) -> None:
+        """Un-wedge a stalled device; blocked work continues."""
+        if self.state != self.STALLED:
+            raise DeviceError(
+                f"cannot resume {self.device.name} while {self.state}")
+        self.state = self.RUNNING
+        trace_emit(self.device.sim, "fault",
+                   f"{self.device.name} resumed")
+        waiters, self._stall_waiters = self._stall_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def fence(self) -> None:
+        """Reset a crashed device into fixed-function mode.
+
+        The recovery path calls this after declaring the device dead:
+        its firmware stays unusable for Offcodes, but the dumb hardware
+        datapath (host receive ring, DMA engine) works again — the
+        paper's host-based baseline configuration.
+        """
+        if self.state != self.CRASHED:
+            raise DeviceError(
+                f"cannot fence {self.device.name} while {self.state}")
+        self.state = self.FENCED
+        trace_emit(self.device.sim, "fault",
+                   f"{self.device.name} fenced (fixed-function mode)")
+
+    def barrier(self) -> Generator[Event, None, None]:
+        """Process generator: pass only while the device is healthy.
+
+        Raises :class:`~repro.errors.DeviceFailedError` on a crashed
+        device; blocks while stalled (and re-checks after every resume,
+        because a stall can end in a crash).
+        """
+        while True:
+            if self.state == self.CRASHED:
+                raise DeviceFailedError(
+                    f"device {self.device.name} has crashed")
+            if self.state != self.STALLED:
+                return
+            waiter = Event(self.device.sim)
+            self._stall_waiters.append(waiter)
+            yield waiter
 
 
 @dataclass(frozen=True)
@@ -171,6 +292,9 @@ class ProgrammableDevice:
         self.interrupts_raised = 0
         # Firmware hook: the HYDRA device runtime installs itself here.
         self.firmware: Optional[object] = None
+        # Fault state (crash / stall / fence); all firmware work and DMA
+        # passes its barrier, so injected faults are observed promptly.
+        self.health = DeviceHealth(self)
 
     @property
     def name(self) -> str:
@@ -186,15 +310,18 @@ class ProgrammableDevice:
 
     def dma_to_host(self, size_bytes: int) -> Generator[Event, None, int]:
         """Bus-master DMA from device memory into host memory."""
+        yield from self.health.barrier()
         return (yield from self.bus.transfer(self.name, HOST_MEMORY, size_bytes))
 
     def dma_from_host(self, size_bytes: int) -> Generator[Event, None, int]:
         """Bus-master DMA from host memory into device memory."""
+        yield from self.health.barrier()
         return (yield from self.bus.transfer(HOST_MEMORY, self.name, size_bytes))
 
     def dma_to_peer(self, peer: str, size_bytes: int
                     ) -> Generator[Event, None, int]:
         """Device-to-device DMA (may stage through host memory on PCI)."""
+        yield from self.health.barrier()
         return (yield from self.bus.transfer(self.name, peer, size_bytes))
 
     # -- host interrupts ---------------------------------------------------------
@@ -214,7 +341,16 @@ class ProgrammableDevice:
     def run_on_device(self, duration_ns: int, context: str = "firmware"
                       ) -> Generator[Event, None, None]:
         """Charge work to the device's embedded CPU."""
+        yield from self.health.barrier()
         yield from self.cpu.execute(duration_ns, context=context)
+
+    def fence(self) -> None:
+        """Driver-reset a crashed device into fixed-function mode.
+
+        Subclasses extend this to restore their dumb datapath (the NIC
+        drops its firmware receive-offload handler, for example).
+        """
+        self.health.fence()
 
     def matches(self, device_class: str,
                 bus: Optional[str] = None,

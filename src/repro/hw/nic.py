@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator, Optional
 
-from repro.errors import DeviceError
+from repro.errors import DeviceError, DeviceFailedError
 from repro.hw.bus import Bus
 from repro.hw.device import DeviceClass, DeviceSpec, ProgrammableDevice
 from repro.sim.engine import Event, Simulator
@@ -66,6 +66,9 @@ class Nic(ProgrammableDevice):
         self._wire_tx: Optional[Callable] = None
         self.rx_packets = 0
         self.tx_packets = 0
+        # Frames black-holed while the embedded processor was crashed
+        # (link up, firmware dead — nothing can even DMA them).
+        self.rx_dropped_dead = 0
 
     # -- wiring (called by repro.net) ------------------------------------------
 
@@ -100,17 +103,28 @@ class Nic(ProgrammableDevice):
 
     def receive_packet(self, packet) -> None:
         """Entry point from the wire (called by the link model)."""
+        if self.health.crashed:
+            # Dead firmware cannot even post descriptors: the frame is
+            # black-holed at the MAC, exactly like a wedged real NIC.
+            self.rx_dropped_dead += 1
+            return
         self.rx_packets += 1
         self.sim.spawn(self._rx_path(packet), name=f"{self.name}-rx")
 
     def _rx_path(self, packet) -> Generator[Event, None, None]:
-        yield from self.run_on_device(self.RX_FIRMWARE_NS, context="nic-rx")
-        if self._rx_offload_handler is not None:
-            consumed = yield from self._rx_offload_handler(packet)
-            if consumed is not False:
-                return
-        # Host path: DMA payload to the host ring, then interrupt.
-        yield from self.dma_to_host(max(1, packet.size_bytes))
+        try:
+            yield from self.run_on_device(self.RX_FIRMWARE_NS,
+                                          context="nic-rx")
+            if self._rx_offload_handler is not None:
+                consumed = yield from self._rx_offload_handler(packet)
+                if consumed is not False:
+                    return
+            # Host path: DMA payload to the host ring, then interrupt.
+            yield from self.dma_to_host(max(1, packet.size_bytes))
+        except DeviceFailedError:
+            # Crash mid-frame: the packet is lost, the simulation is not.
+            self.rx_dropped_dead += 1
+            return
         # Hardware receive timestamp: taken at DMA completion, before
         # any host-side processing can skew it.
         if hasattr(packet, "received_at_ns"):
@@ -118,6 +132,18 @@ class Nic(ProgrammableDevice):
         stored = yield self.host_rx_ring.put(packet)
         if stored:
             self.raise_interrupt("rx", packet)
+
+    # -- fault recovery ----------------------------------------------------------
+
+    def fence(self) -> None:
+        """Reset to dumb mode: drop the firmware handler, keep the wire.
+
+        After the watchdog declares this NIC dead, the recovery path
+        fences it so frames flow through the pure host path again (DMA
+        ring + interrupt) — the paper's host-based baseline.
+        """
+        super().fence()
+        self._rx_offload_handler = None
 
     # -- transmit ----------------------------------------------------------------
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Optional
 
-from repro.errors import SocketError
+from repro.errors import DeviceFailedError, SocketError
 from repro.hw.device import ProgrammableDevice
 from repro.net.packet import Address, Packet
 from repro.net.switch import Switch
@@ -62,6 +62,7 @@ class DeviceNetPort:
         self.tx_packets = 0
         self.rx_packets = 0
         self.rx_unclaimed = 0
+        self.rx_dropped_dead = 0
 
     # -- binding ---------------------------------------------------------------
 
@@ -99,8 +100,14 @@ class DeviceNetPort:
                               name=f"{self.station}-devrx")
 
     def _rx_proc(self, packet: Packet) -> Generator[Event, None, None]:
-        yield from self.device.run_on_device(_RX_FIRMWARE_NS,
-                                             context="devnet-rx")
+        try:
+            yield from self.device.run_on_device(_RX_FIRMWARE_NS,
+                                                 context="devnet-rx")
+        except DeviceFailedError:
+            # The device CPU died under this frame: lose the frame, not
+            # the simulation (nobody awaits wire-delivery processes).
+            self.rx_dropped_dead += 1
+            return
         packet.received_at_ns = self.device.sim.now
         binding = self._bindings.get(packet.dst.port)
         if binding is None:

@@ -206,7 +206,16 @@ CLIENT_FILE_GUID = guid_from_name("tivopc.client.File")
 
 
 class OffloadedClient:
-    """The fully offloaded Figure-8 client, deployed through HYDRA."""
+    """The fully offloaded Figure-8 client, deployed through HYDRA.
+
+    With ``host_fallback=True`` the depot also carries a host build of
+    the network Streamer and a recovery hook is armed: when the
+    watchdog declares the NIC dead, the runtime redeploys the Streamer
+    on the host processor and the hook rewires the media plane (two
+    unicast channels replace the dead multicast channel), so the
+    stream finishes host-side — the paper's host-based configuration
+    as a degraded mode.
+    """
 
     NET_STREAMER_ODF = "/tivopc/client/streamer-net.odf"
     DISK_STREAMER_ODF = "/tivopc/client/streamer-disk.odf"
@@ -214,10 +223,12 @@ class OffloadedClient:
     DISPLAY_ODF = "/tivopc/client/display.odf"
     FILE_ODF = "/tivopc/client/file.odf"
 
-    def __init__(self, testbed: Testbed) -> None:
+    def __init__(self, testbed: Testbed,
+                 host_fallback: bool = False) -> None:
         self.testbed = testbed
         self.runtime = testbed.client_runtime
         self.mux = testbed.client_mux()
+        self.host_fallback = host_fallback
         self.net_streamer: Optional[NetStreamerOffcode] = None
         self.disk_streamer: Optional[DiskStreamerOffcode] = None
         self.decoder: Optional[DecoderOffcode] = None
@@ -294,6 +305,48 @@ class OffloadedClient:
                            site, testbed.disk_nfs,
                            handle=testbed.config.recording_handle),
                        device_class=DeviceClass.STORAGE)
+
+        if self.host_fallback:
+            # The host build of the network Streamer reads from a real
+            # UDP socket; the socket is opened lazily, at recovery
+            # time, when the NIC mux no longer claims the media port.
+            depot.register(NET_STREAMER_GUID,
+                           lambda site: NetStreamerOffcode(
+                               site,
+                               socket=testbed.client.stack.socket(
+                                   testbed.config.media_port),
+                               listen_port=testbed.config.media_port),
+                           device_class=DeviceClass.HOST)
+            self.runtime.add_recovery_hook(self._recovery_hook)
+
+    # -- fault recovery ----------------------------------------------------------------
+
+    def _recovery_hook(self, device: str,
+                       incident) -> Generator[Event, None, None]:
+        """Rewire the media plane after host-fallback redeployment.
+
+        The dead NIC took the Figure-8 multicast channel with it; the
+        peer-DMA provider cannot source a host-rooted multicast, so the
+        redeployed host Streamer gets one unicast channel per consumer
+        instead.
+        """
+        if incident.placement.get("tivopc.NetStreamer") != "host":
+            return
+        runtime = self.runtime
+        self.net_streamer = runtime.get_offcode("tivopc.NetStreamer")
+        config = ChannelConfig(kind=ChannelKind.UNICAST,
+                               reliability=Reliability.RELIABLE,
+                               sync=SyncMode.SEQUENTIAL,
+                               buffering=Buffering.COPY,
+                               label=StreamerOffcode.DATA_LABEL)
+        for peer in (self.decoder, self.disk_streamer):
+            channel = runtime.executive.create_channel_for_offcode(
+                config, self.net_streamer)
+            runtime.executive.connect_offcode(channel, peer)
+        self.data_channel = None
+        # Driver/daemon work for the rewiring itself.
+        yield from self.net_streamer.site.execute(
+            5_000, context="recovery-rewire")
 
     # -- lifecycle ----------------------------------------------------------------------
 

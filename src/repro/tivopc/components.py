@@ -75,9 +75,12 @@ class StreamerOffcode(Offcode):
 
     Two roles, chosen by construction:
 
-    * **network role** — a firmware port binding supplies packets; each
-      payload is extracted and written to the outbound data channel
-      (the Figure-8 multicast toward Decoder and disk Streamer);
+    * **network role** — a packet source supplies packets (a firmware
+      port binding on a NIC, or a host UDP socket when the component
+      falls back to the host after a NIC failure); each payload is
+      extracted and written to every outbound data channel (the
+      Figure-8 multicast toward Decoder and disk Streamer, or a pair of
+      unicast channels after host-fallback rewiring);
     * **disk role** — packets arrive *on* the data channel; each is
       handed to the co-located File Offcode unmodified ("storing the
       received frames, without modification, at the storage device, so
@@ -88,16 +91,22 @@ class StreamerOffcode(Offcode):
     INTERFACES = (ISTREAMER,)
 
     def __init__(self, site: ExecutionSite, port_mux=None,
-                 listen_port: int = 9000) -> None:
+                 listen_port: int = 9000, socket=None) -> None:
         super().__init__(site)
-        self.port_mux = port_mux            # network role only
+        self.port_mux = port_mux            # network role, on-NIC build
+        self.socket = socket                # network role, host build
         self.listen_port = listen_port
         self.binding = None
         self.data_channel: Optional[Channel] = None
+        self.data_channels: list = []
         self.file_offcode: Optional["FileOffcode"] = None   # disk role
         self.chunks_handled = 0
         self.paused = False
         self._channel_ready: Event = site.sim.event()
+
+    @property
+    def _network_role(self) -> bool:
+        return self.port_mux is not None or self.socket is not None
 
     def ChunksHandled(self) -> int:
         return self.chunks_handled
@@ -126,12 +135,15 @@ class StreamerOffcode(Offcode):
         super().on_channel_attached(channel)
         if channel.config.label != self.DATA_LABEL:
             return                  # OOB / proxy channels: not the data plane
-        if self.port_mux is not None:
-            # Network role: this is the outbound data channel.
+        if self._network_role:
+            # Network role: an outbound data channel.  The regular path
+            # uses one multicast channel; after host fallback the
+            # recovery hook wires one unicast channel per consumer.
+            self.data_channels.append(channel)
             if self.data_channel is None:
                 self.data_channel = channel
-                if not self._channel_ready.triggered:
-                    self._channel_ready.succeed()
+            if not self._channel_ready.triggered:
+                self._channel_ready.succeed()
         else:
             # Disk role: inbound; handle chunks as they arrive.
             channel.endpoint_of(self).install_call_handler(
@@ -145,7 +157,7 @@ class StreamerOffcode(Offcode):
             self.binding = self.port_mux.bind(self.listen_port)
 
     def main(self) -> Optional[Generator[Event, None, None]]:
-        if self.port_mux is None:
+        if not self._network_role:
             return None
         return self._receive_loop()
 
@@ -155,15 +167,22 @@ class StreamerOffcode(Offcode):
         if not self._channel_ready.triggered:
             yield self._channel_ready
         while True:
-            packet = yield from self.binding.recv()
+            if self.binding is not None:
+                packet = yield from self.binding.recv()
+            else:
+                packet = yield from self.socket.recvfrom()
             yield from self.site.execute(_EXTRACT_NS, context="streamer")
-            endpoint = self.data_channel.endpoint_of(self)
             # In-band viewing flag: while paused the chunk still travels
             # (the disk Streamer must keep recording) but carries a
             # marker telling the Decoder not to render it.
             payload = (("paused", packet.payload) if self.paused
                        else packet.payload)
-            yield from endpoint.write(payload, packet.size_bytes)
+            for channel in list(self.data_channels):
+                if channel.closed:
+                    self.data_channels.remove(channel)
+                    continue
+                endpoint = channel.endpoint_of(self)
+                yield from endpoint.write(payload, packet.size_bytes)
             self.chunks_handled += 1
 
     # -- disk role ----------------------------------------------------------------------

@@ -26,6 +26,9 @@ from typing import Optional
 
 from repro import units
 from repro.core.runtime import HydraRuntime
+from repro.core.watchdog import WatchdogConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.hostos.kernel import Kernel, KernelConfig
 from repro.hw.bus import BusSpec
 from repro.hostos.nfs import DeviceNfsClient, NFS_PORT, NfsServer
@@ -60,6 +63,13 @@ class TestbedConfig:
     # footnote 2 (PCIe moves a packet to GPU *and* disk in one
     # transaction; classic PCI must stage through host memory).
     client_bus: BusSpec = field(default_factory=BusSpec)
+    # Chaos knobs (both default off = byte-identical baseline runs).
+    # ``fault_plan`` schedules failures; device targets are qualified
+    # as "<host>.<device>" ("client.nic0") and bus targets as the host
+    # name.  ``watchdog`` arms heartbeat monitoring on both HYDRA
+    # runtimes.
+    fault_plan: Optional[FaultPlan] = None
+    watchdog: Optional[WatchdogConfig] = None
 
 
 @dataclass
@@ -120,6 +130,22 @@ class Testbed:
         self._client_mux: Optional[NicPortMux] = None
         self._started = False
 
+        # Chaos plumbing: one injector over every device and bus in the
+        # testbed, armed at start() when the config carries a plan.
+        self.fault_injector: Optional[FaultInjector] = None
+        if self.config.fault_plan is not None:
+            devices = {f"{host.name}.{name}": device
+                       for host in (self.nas, self.server, self.client)
+                       for name, device in host.machine.devices.items()}
+            buses = {host.name: host.machine.bus
+                     for host in (self.nas, self.server, self.client)}
+            self.fault_injector = FaultInjector(
+                self.sim, self.config.fault_plan,
+                devices=devices, buses=buses,
+                executives=[self.server_runtime.executive,
+                            self.client_runtime.executive],
+                rng=self.rng.stream("faults"))
+
     # -- construction helpers ------------------------------------------------------
 
     def _make_host(self, name: str,
@@ -155,6 +181,11 @@ class Testbed:
         self.client.kernel.start()
         self.nas.kernel.start(with_background=False)
         self.nfs_server.start()
+        if self.config.watchdog is not None:
+            self.server_runtime.start_watchdog(self.config.watchdog)
+            self.client_runtime.start_watchdog(self.config.watchdog)
+        if self.fault_injector is not None:
+            self.fault_injector.start()
 
     def server_mux(self) -> NicPortMux:
         """Firmware ports on the server NIC (offloaded server only)."""

@@ -16,8 +16,8 @@ import repro
 
 PACKAGES = [
     "repro", "repro.sim", "repro.hw", "repro.hostos", "repro.net",
-    "repro.media", "repro.core", "repro.core.layout", "repro.tivopc",
-    "repro.evaluation", "repro.virt",
+    "repro.media", "repro.core", "repro.core.layout", "repro.faults",
+    "repro.tivopc", "repro.evaluation", "repro.virt",
 ]
 
 

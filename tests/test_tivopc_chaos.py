@@ -1,0 +1,102 @@
+"""Chaos end-to-end test: NIC death mid-stream, host-fallback recovery.
+
+The scenario the fault subsystem exists for: the fully offloaded
+Figure-8 client is streaming when the client NIC's embedded processor
+crashes.  The watchdog notices the silence, the runtime tears down the
+victim Offcode, fences the NIC back into fixed-function mode, re-runs
+the layout excluding the dead device, and the Streamer finishes the
+stream on the host processor — the paper's host-based configuration as
+a degraded mode, entered automatically.
+"""
+
+import pytest
+
+from repro import units
+from repro.core import WatchdogConfig
+from repro.faults import FaultPlan
+from repro.tivopc import (
+    OffloadedClient,
+    OffloadedServer,
+    Testbed,
+    TestbedConfig,
+)
+
+CRASH_AT_NS = 2 * units.SECOND
+
+
+def run_chaos(seed=3, seconds=8):
+    plan = FaultPlan().crash_device(CRASH_AT_NS, "client.nic0")
+    testbed = Testbed(TestbedConfig(seed=seed, fault_plan=plan,
+                                    watchdog=WatchdogConfig()))
+    testbed.start()
+    client = OffloadedClient(testbed, host_fallback=True)
+    client.start()
+    server = OffloadedServer(testbed)
+    server.start()
+    testbed.run(seconds)
+    return testbed, client, server
+
+
+@pytest.fixture(scope="module")
+def chaos():
+    return run_chaos()
+
+
+def test_streamer_falls_back_to_host(chaos):
+    testbed, client, server = chaos
+    assert testbed.fault_injector.applied
+    assert "nic0" in testbed.client_runtime.failed_devices
+    # The network Streamer was re-deployed on the host processor; the
+    # survivors kept their Figure-8 seats.
+    assert client.net_streamer.location == "host"
+    assert client.disk_streamer.location == "disk0"
+    assert client.decoder.location == "gpu0"
+    assert client.display.location == "gpu0"
+
+
+def test_stream_finishes_after_recovery(chaos):
+    testbed, client, server = chaos
+    incident = testbed.client_runtime.incidents[0]
+    assert incident.device == "nic0"
+    assert incident.recovered
+    # The stream kept flowing host-side: the fallback Streamer handled
+    # chunks, frames kept rendering and the recording kept growing.
+    assert client.chunks_received > 1000
+    assert client.frames_shown > 100
+    assert client.bytes_recorded > 1_000_000
+    # The fenced NIC black-holed frames only while actually crashed.
+    nic = testbed.client.nic
+    assert nic.health.state == nic.health.FENCED
+    assert nic.rx_dropped_dead > 0
+
+
+def test_recovery_latency_is_positive_and_bounded(chaos):
+    testbed, client, server = chaos
+    incident = testbed.client_runtime.incidents[0]
+    assert incident.latency_ns > 0
+    # Death is declared within period * threshold (+ one deadline), and
+    # redeploy+rewire is far faster than a beat — well under 100 ms.
+    assert incident.died_at_ns - CRASH_AT_NS < 10 * units.MS
+    assert incident.latency_ns < 100 * units.MS
+
+
+def test_host_receive_path_is_active_after_fallback(chaos):
+    testbed, client, server = chaos
+    # The fallback Streamer reads a real UDP socket: packets now cross
+    # the fenced NIC's dumb DMA path and the kernel stack.  (Only the
+    # Streamer moved to the host — decode stayed on the GPU — so CPU
+    # utilization stays near idle; the socket counters are the proof.)
+    assert client.net_streamer.socket is not None
+    assert client.net_streamer.socket.rx_packets > 500
+    assert testbed.client.nic.interrupts_raised > 500
+
+
+def test_chaos_run_is_deterministic():
+    first = run_chaos(seed=11, seconds=6)
+    second = run_chaos(seed=11, seconds=6)
+    first_incident = first[0].client_runtime.incidents[0]
+    second_incident = second[0].client_runtime.incidents[0]
+    assert first_incident.latency_ns == second_incident.latency_ns
+    assert first_incident.died_at_ns == second_incident.died_at_ns
+    assert first[1].frames_shown == second[1].frames_shown
+    assert first[1].bytes_recorded == second[1].bytes_recorded
