@@ -14,7 +14,7 @@ identical — only the bus bill differs.
 from conftest import publish
 
 from repro.evaluation import format_table
-from repro.hw.bus import BusSpec, HOST_MEMORY
+from repro.hw.bus import BusSpec
 from repro.tivopc import OffloadedClient, OffloadedServer, Testbed, \
     TestbedConfig
 

@@ -10,16 +10,17 @@ ConnectOffcode) then runs against the deployed Offcode.
 Run:  python examples/checksum_offload.py
 """
 
-from repro.core import (
-    Buffering,
+from repro.api import (
     ChannelConfig,
+    DeploymentSpec,
+    DeviceClass,
     HydraRuntime,
+    Machine,
     Offcode,
     Proxy,
+    Simulator,
     parse_wsdl,
 )
-from repro.hw import DeviceClass, Machine
-from repro.sim import Simulator
 
 # Figure 4, as well-formed XML (GUIDs are the paper's own numbers).
 SOCKET_ODF = """
@@ -139,9 +140,9 @@ def main():
                            device_class=DeviceClass.NETWORK)
 
     def application():
-        # CreateOffcode (the Figure 3 preamble).
-        result = yield from runtime.create_offcode(
-            "/offcodes/socket.odf", interface="ISocket")
+        # Deploy the Socket Offcode (the Figure 3 preamble).
+        result = yield from runtime.deploy(DeploymentSpec(
+            odf_paths=("/offcodes/socket.odf",), interface="ISocket"))
         ocode = result.offcode
         print(f"Socket deployed to {ocode.location}; Pull dragged "
               f"Checksum to "
@@ -151,8 +152,8 @@ def main():
         exec_offcode = runtime.get_offcode("hydra.ChannelExecutive")
         print(f"ChannelExecutive reports "
               f"{exec_offcode.ProviderCount()} providers")
-        config = ChannelConfig(buffering=Buffering.DIRECT).with_target(
-            ocode.location)
+        config = (ChannelConfig.unicast().zero_copy()
+                  .with_target(ocode.location))
         channel = runtime.create_channel(config)
         channel.creator_endpoint.install_call_handler(
             lambda message: print(f"  handler: spontaneous message "

@@ -9,7 +9,7 @@ greedy baseline is demonstrably suboptimal.
 Run:  python examples/layout_optimizer.py
 """
 
-from repro.core.layout import (
+from repro.api import (
     BranchAndBoundSolver,
     BusCapabilityMatrix,
     ConstraintType,

@@ -2,22 +2,25 @@
 """Quickstart: offload your first Offcode with HYDRA.
 
 Builds a host with a programmable NIC, registers an Offcode manifest
-(ODF) and its implementation, deploys it with ``CreateOffcode`` and
+(ODF) and its implementation, deploys it with ``runtime.deploy`` and
 invokes it transparently through a proxy — the whole programming model
 of Sections 3 and 4 in ~80 lines.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
+from repro.api import (
+    DeploymentSpec,
+    DeviceClass,
+    DeviceClassFilter,
     HydraRuntime,
     InterfaceSpec,
+    Machine,
     MethodSpec,
+    OdfDocument,
     Offcode,
+    Simulator,
 )
-from repro.core.odf import DeviceClassFilter, OdfDocument
-from repro.hw import DeviceClass, Machine
-from repro.sim import Simulator
 
 # 1. Describe the interface (the WSDL part of the manifest).
 ICHECKSUM = InterfaceSpec.from_methods(
@@ -67,7 +70,8 @@ def main():
 
     # 5. Deploy and invoke from an OA-application process.
     def application():
-        result = yield from runtime.create_offcode("/offcodes/checksum.odf")
+        result = yield from runtime.deploy(
+            DeploymentSpec(odf_paths=("/offcodes/checksum.odf",)))
         print(f"deployed {result.offcode.bindname} "
               f"-> {result.location} "
               f"(strategy: {result.report.load_reports[0].strategy}, "

@@ -23,18 +23,21 @@ data on which it operates" is the whole trick.
 Run:  python examples/smart_storage.py
 """
 
-from repro import units
-from repro.core import (
+from repro.api import (
+    DeploymentSpec,
+    DeviceClass,
+    DeviceClassFilter,
+    DeviceSite,
+    HOST_MEMORY,
     HydraRuntime,
     InterfaceSpec,
+    Machine,
     MethodSpec,
+    OdfDocument,
     Offcode,
+    Simulator,
+    units,
 )
-from repro.core.odf import DeviceClassFilter, OdfDocument
-from repro.core.sites import DeviceSite
-from repro.hw import DeviceClass, Machine
-from repro.hw.bus import HOST_MEMORY
-from repro.sim import Simulator
 
 BLOCK = 4096
 BLOCKS = 16 * 1024          # 64 MB volume
@@ -101,7 +104,8 @@ def run_scan(force_host: bool):
     out = {}
 
     def application():
-        result = yield from runtime.create_offcode("/offcodes/scanner.odf")
+        result = yield from runtime.deploy(
+            DeploymentSpec(odf_paths=("/offcodes/scanner.odf",)))
         out["location"] = result.location
         started = sim.now
         out["infected"] = yield from result.proxy.ScanVolume(BLOCKS)

@@ -9,7 +9,7 @@ of the recording from the Smart Disk.
 Run:  python examples/tivopc_demo.py
 """
 
-from repro.tivopc import (
+from repro.api import (
     GuiController,
     OffloadedClient,
     OffloadedServer,

@@ -14,12 +14,19 @@ identical either way — the VMM overhead is what disappears.
 Run:  python examples/vm_demux.py
 """
 
-from repro import units
-from repro.hostos import Kernel, UdpStack
-from repro.hw import Machine, MachineSpec
-from repro.net import Address, Switch
-from repro.sim import RandomStreams, Simulator
-from repro.virt import OffloadedVmm, SoftwareVmm
+from repro.api import (
+    Address,
+    Kernel,
+    Machine,
+    MachineSpec,
+    OffloadedVmm,
+    RandomStreams,
+    Simulator,
+    SoftwareVmm,
+    Switch,
+    UdpStack,
+    units,
+)
 
 PACKETS = 400
 SIZE = 1024

@@ -3,8 +3,15 @@
 "Tapping into the Fountain of CPUs — On Operating System Support for
 Programmable Devices", Weinsberg, Dolev, Anker, Ben-Yehuda, Wyckoff.
 
+The blessed public surface is :mod:`repro.api`: one module with every
+name an application needs (``from repro.api import HydraRuntime, ...``).
+This package root re-exports it lazily, so ``repro.api`` and any of its
+names are also reachable as attributes of :mod:`repro` without forcing
+the whole framework to import for users who only want a subpackage.
+
 Packages:
 
+* :mod:`repro.api` — the blessed public surface, re-exported here.
 * :mod:`repro.sim` — discrete-event engine (from scratch).
 * :mod:`repro.hw` — simulated hardware: CPUs, L2 cache, buses,
   programmable NIC / GPU / smart disk, power model.
@@ -21,4 +28,33 @@ Packages:
   figure in the paper's evaluation.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name):
+    """Lazily resolve ``repro.api`` and its blessed names (PEP 562).
+
+    Eagerly importing the facade here would cycle (core modules import
+    ``repro.units`` during their own import); the lazy hook gives
+    ``repro.api`` — and ``from repro import HydraRuntime`` for any
+    facade name — without that cost.
+    """
+    import importlib
+    import sys
+    # Submodules resolve directly — routing them through repro.api would
+    # cycle while a subpackage (which imports e.g. repro.units) is
+    # itself mid-import.
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f"repro.{name}")
+    api = sys.modules.get("repro.api")
+    if api is None and not name.startswith("_"):
+        api = importlib.import_module("repro.api")
+    if name in getattr(api, "__all__", ()):
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+_SUBPACKAGES = frozenset({
+    "api", "core", "errors", "evaluation", "faults", "hostos", "hw",
+    "media", "net", "sim", "tivopc", "units", "virt",
+})

@@ -1,0 +1,287 @@
+"""The blessed public surface of the reproduction, in one import.
+
+Everything an application, example, or notebook needs lives here::
+
+    from repro.api import (Simulator, Machine, HydraRuntime,
+                           DeploymentSpec, ChannelConfig, CallPolicy)
+
+The deeper packages (:mod:`repro.core`, :mod:`repro.hw`, ...) remain
+importable for framework development, but this module is the stable
+contract: names re-exported here follow deprecation policy (a
+:class:`DeprecationWarning` for at least one release before removal),
+names elsewhere may move without notice.
+
+The surface groups by concern:
+
+* **Simulation** — :class:`Simulator`, :class:`RandomStreams` and the
+  waitable primitives.
+* **Hardware** — :class:`Machine` and the programmable-device zoo.
+* **Host OS / network** — the simulated kernel, UDP stack and switch.
+* **Programming model** — :class:`HydraRuntime`,
+  :class:`DeploymentSpec`, Offcodes, interfaces, ODF manifests,
+  proxies and :class:`CallPolicy`.
+* **Channels & batching** — the fluent :class:`ChannelConfig` builder,
+  :class:`BatchConfig` watermarks, :class:`CallBatch` and the
+  executive-side :class:`ChannelBatcher`.
+* **Layout optimization** — the Section-5 solvers and objectives.
+* **Fault injection & recovery** — :class:`FaultPlan`,
+  :class:`FaultInjector`, the device watchdog.
+* **TiVoPC case study** — testbed, servers, clients and metrics.
+"""
+
+from __future__ import annotations
+
+# -- simulation -------------------------------------------------------------------
+from repro import units
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    RandomStreams,
+    Resource,
+    Simulator,
+    Store,
+    Timeout,
+)
+
+# -- hardware ---------------------------------------------------------------------
+from repro.hw import (
+    Bus,
+    BusSpec,
+    DeviceClass,
+    DeviceSpec,
+    Gpu,
+    GpuSpec,
+    HOST_MEMORY,
+    Machine,
+    MachineSpec,
+    Nic,
+    NicSpec,
+    ProgrammableDevice,
+    SmartDisk,
+)
+
+# -- host OS and network -----------------------------------------------------------
+from repro.hostos import Kernel, KernelConfig, NfsServer, UdpStack
+from repro.net import Address, Link, Packet, Switch
+
+# -- programming model --------------------------------------------------------------
+from repro.core import (
+    Call,
+    CallPolicy,
+    CreateOffcodeResult,
+    InterfaceSpec,
+    MethodSpec,
+    Offcode,
+    OffcodeDepot,
+    OffcodeState,
+    Proxy,
+    guid_from_name,
+    make_call,
+    parse_wsdl,
+)
+from repro.core.odf import (
+    DeviceClassFilter,
+    OdfDocument,
+    OdfImport,
+    OdfLibrary,
+    SoftwareRequirements,
+)
+from repro.core.runtime import (
+    CleanupReport,
+    DeploymentResult,
+    DeploymentSpec,
+    HydraRuntime,
+    RecoveryIncident,
+)
+from repro.core.sites import DeviceSite, ExecutionSite, HostSite
+
+# -- channels and vectored batching ---------------------------------------------------
+from repro.core.call import BatchEntry, CallBatch
+from repro.core.channel import (
+    BatchConfig,
+    Buffering,
+    Channel,
+    ChannelConfig,
+    ChannelKind,
+    ChannelStats,
+    Endpoint,
+    Message,
+    Reliability,
+    SyncMode,
+)
+from repro.core.executive import (
+    BatcherStats,
+    ChannelBatcher,
+    ChannelExecutive,
+)
+from repro.core.providers import CostMetric
+
+# -- layout optimization (Section 5) --------------------------------------------------
+from repro.core.layout import (
+    BranchAndBoundSolver,
+    BusCapabilityMatrix,
+    ConstraintType,
+    GreedySolver,
+    LayoutGraph,
+    MaximizeBusUsage,
+    MaximizeOffloading,
+    MinimizeBusCrossings,
+    MinimizeHostCpu,
+    Objective,
+    ScipyMilpSolver,
+    TrafficMatrix,
+)
+
+# -- fault injection and recovery ------------------------------------------------------
+from repro.core.watchdog import DeviceWatchdog, WatchdogConfig
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+
+# -- virtualization --------------------------------------------------------------------
+from repro.virt import OffloadedVmm, SoftwareVmm
+
+# -- the TiVoPC case study --------------------------------------------------------------
+from repro.tivopc import (
+    GuiController,
+    JitterCollector,
+    MeasurementClient,
+    OffloadedClient,
+    OffloadedServer,
+    SummaryStats,
+    Testbed,
+    TestbedConfig,
+    UserSpaceClient,
+)
+
+# -- errors ------------------------------------------------------------------------------
+from repro.errors import (
+    ChannelError,
+    DeploymentError,
+    DeviceFailedError,
+    HydraError,
+    OffloadTimeoutError,
+    ProviderError,
+    RetryBudgetExceededError,
+)
+
+__all__ = [
+    # simulation
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "units",
+    # hardware
+    "Bus",
+    "BusSpec",
+    "DeviceClass",
+    "DeviceSpec",
+    "Gpu",
+    "GpuSpec",
+    "HOST_MEMORY",
+    "Machine",
+    "MachineSpec",
+    "Nic",
+    "NicSpec",
+    "ProgrammableDevice",
+    "SmartDisk",
+    # host OS and network
+    "Address",
+    "Kernel",
+    "KernelConfig",
+    "Link",
+    "NfsServer",
+    "Packet",
+    "Switch",
+    "UdpStack",
+    # programming model
+    "Call",
+    "CallPolicy",
+    "CleanupReport",
+    "CreateOffcodeResult",
+    "DeploymentResult",
+    "DeploymentSpec",
+    "DeviceClassFilter",
+    "DeviceSite",
+    "ExecutionSite",
+    "HostSite",
+    "HydraRuntime",
+    "InterfaceSpec",
+    "MethodSpec",
+    "OdfDocument",
+    "OdfImport",
+    "OdfLibrary",
+    "Offcode",
+    "OffcodeDepot",
+    "OffcodeState",
+    "Proxy",
+    "RecoveryIncident",
+    "SoftwareRequirements",
+    "guid_from_name",
+    "make_call",
+    "parse_wsdl",
+    # channels and batching
+    "BatchConfig",
+    "BatchEntry",
+    "BatcherStats",
+    "Buffering",
+    "CallBatch",
+    "Channel",
+    "ChannelBatcher",
+    "ChannelConfig",
+    "ChannelExecutive",
+    "ChannelKind",
+    "ChannelStats",
+    "CostMetric",
+    "Endpoint",
+    "Message",
+    "Reliability",
+    "SyncMode",
+    # layout optimization
+    "BranchAndBoundSolver",
+    "BusCapabilityMatrix",
+    "ConstraintType",
+    "GreedySolver",
+    "LayoutGraph",
+    "MaximizeBusUsage",
+    "MaximizeOffloading",
+    "MinimizeBusCrossings",
+    "MinimizeHostCpu",
+    "Objective",
+    "ScipyMilpSolver",
+    "TrafficMatrix",
+    # fault injection and recovery
+    "DeviceWatchdog",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "WatchdogConfig",
+    # virtualization
+    "OffloadedVmm",
+    "SoftwareVmm",
+    # TiVoPC
+    "GuiController",
+    "JitterCollector",
+    "MeasurementClient",
+    "OffloadedClient",
+    "OffloadedServer",
+    "SummaryStats",
+    "Testbed",
+    "TestbedConfig",
+    "UserSpaceClient",
+    # errors
+    "ChannelError",
+    "DeploymentError",
+    "DeviceFailedError",
+    "HydraError",
+    "OffloadTimeoutError",
+    "ProviderError",
+    "RetryBudgetExceededError",
+]

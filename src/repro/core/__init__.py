@@ -20,8 +20,16 @@ from repro.errors import (
     OffloadTimeoutError,
     RetryBudgetExceededError,
 )
-from repro.core.call import Call, CallPolicy, ReturnDescriptor, make_call
+from repro.core.call import (
+    BatchEntry,
+    Call,
+    CallBatch,
+    CallPolicy,
+    ReturnDescriptor,
+    make_call,
+)
 from repro.core.channel import (
+    BatchConfig,
     Buffering,
     Channel,
     ChannelConfig,
@@ -40,7 +48,11 @@ from repro.core.deployment import (
 )
 from repro.core.depot import DepotEntry, OffcodeDepot
 from repro.core.devruntime import DeviceRuntime
-from repro.core.executive import ChannelExecutive
+from repro.core.executive import (
+    BatcherStats,
+    ChannelBatcher,
+    ChannelExecutive,
+)
 from repro.core.guid import Guid, guid_from_name, parse_guid
 from repro.core.interfaces import IOFFCODE, InterfaceSpec, MethodSpec
 from repro.core.loader import (
@@ -77,6 +89,8 @@ from repro.core.rings import Descriptor, DescriptorRing
 from repro.core.runtime import (
     CleanupReport,
     CreateOffcodeResult,
+    DeploymentResult,
+    DeploymentSpec,
     HydraRuntime,
     RecoveryIncident,
 )
@@ -85,11 +99,16 @@ from repro.core.watchdog import DeviceWatchdog, WatchdogConfig
 from repro.core.wsdl import parse_wsdl, write_wsdl
 
 __all__ = [
+    "BatchConfig",
+    "BatchEntry",
+    "BatcherStats",
     "Buffering",
     "Call",
+    "CallBatch",
     "CallPolicy",
     "Channel",
     "ChannelConfig",
+    "ChannelBatcher",
     "ChannelExecutive",
     "ChannelExecutiveOffcode",
     "ChannelKind",
@@ -99,7 +118,9 @@ __all__ = [
     "CostMetric",
     "CreateOffcodeResult",
     "DeploymentPipeline",
+    "DeploymentResult",
     "DeploymentReport",
+    "DeploymentSpec",
     "DepotEntry",
     "Descriptor",
     "DescriptorRing",

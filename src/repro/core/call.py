@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.errors import ChannelError, InterfaceError, MarshalError
 from repro.core.guid import Guid
@@ -25,7 +25,8 @@ from repro.core.interfaces import InterfaceSpec, MethodSpec
 from repro.core import marshal
 from repro.sim.engine import Event, Simulator
 
-__all__ = ["Call", "CallPolicy", "ReturnDescriptor", "make_call"]
+__all__ = ["BatchEntry", "Call", "CallBatch", "CallPolicy",
+           "ReturnDescriptor", "make_call"]
 
 
 @dataclass(frozen=True)
@@ -124,6 +125,110 @@ class Call:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Call #{self.call_id} {self.interface_guid}.{self.method} "
                 f"{self.size_bytes}B>")
+
+
+@dataclass
+class BatchEntry:
+    """One payload riding in a :class:`CallBatch`.
+
+    ``enqueued_at_ns`` is the coalescing timestamp — delivery latency is
+    measured from here, so queueing inside the batcher is charged to the
+    message, not hidden.  ``deadline_at_ns`` (optional) bounds how long
+    the entry may wait across batch retries; the batcher drops entries
+    whose deadline has passed before re-sending the batch.
+    """
+
+    payload: Any
+    size_bytes: int
+    enqueued_at_ns: int
+    deadline_at_ns: Optional[int] = None
+
+    def expired(self, now_ns: int) -> bool:
+        """True once the entry's deadline (if any) has passed."""
+        return (self.deadline_at_ns is not None
+                and now_ns > self.deadline_at_ns)
+
+
+class CallBatch:
+    """An aggregate of one-way payloads bound for one destination set.
+
+    The vectored-dispatch unit: the Channel Executive coalesces one-way
+    :class:`Call`s (and raw data-plane payloads) per (channel,
+    destination site) and the provider moves the whole batch as a single
+    scatter-gather bus transaction.  Per-message headers amortize into
+    one batch header plus a small per-entry descriptor, mirroring the
+    descriptor-chaining DMA engines of the paper's NIC.
+
+    Only *one-way* Calls may join a batch: a two-way Call carries a
+    return descriptor the caller is already blocked on, and delaying it
+    behind a watermark would trade its latency for someone else's
+    throughput.
+    """
+
+    HEADER_BYTES = 32          # one batch header on the wire
+    PER_ENTRY_BYTES = 8        # chained-descriptor overhead per entry
+
+    def __init__(self) -> None:
+        self.entries: List[BatchEntry] = []
+
+    def add(self, payload: Any, size_bytes: int, now_ns: int,
+            deadline_at_ns: Optional[int] = None) -> BatchEntry:
+        """Append one payload; one-way Calls only (ChannelError otherwise)."""
+        if isinstance(payload, Call) and not payload.one_way:
+            raise ChannelError(
+                f"two-way call {payload.method!r} cannot join a batch; "
+                "its caller is blocked on the reply")
+        if size_bytes < 0:
+            raise ChannelError(f"negative batch entry size: {size_bytes}")
+        entry = BatchEntry(payload=payload, size_bytes=size_bytes,
+                           enqueued_at_ns=now_ns,
+                           deadline_at_ns=deadline_at_ns)
+        self.entries.append(entry)
+        return entry
+
+    def drop_expired(self, now_ns: int) -> List[BatchEntry]:
+        """Remove and return entries whose deadline has passed."""
+        expired = [e for e in self.entries if e.expired(now_ns)]
+        if expired:
+            self.entries = [e for e in self.entries
+                            if not e.expired(now_ns)]
+        return expired
+
+    @property
+    def count(self) -> int:
+        """Number of entries currently in the batch."""
+        return len(self.entries)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Sum of the entry payload sizes (no batching overhead)."""
+        return sum(e.size_bytes for e in self.entries)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-the-wire size: batch header + per-entry descriptors + data."""
+        return (self.HEADER_BYTES + self.PER_ENTRY_BYTES * self.count
+                + self.payload_bytes)
+
+    @property
+    def oldest_enqueued_at_ns(self) -> Optional[int]:
+        """Enqueue time of the oldest entry (None when empty)."""
+        if not self.entries:
+            return None
+        return min(e.enqueued_at_ns for e in self.entries)
+
+    def entry_sizes(self) -> List[int]:
+        """The scatter-gather size list the DMA engine chains."""
+        return [max(1, e.size_bytes) for e in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[BatchEntry]:
+        return iter(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CallBatch n={self.count} {self.size_bytes}B>"
 
 
 def make_call(sim: Simulator, interface: InterfaceSpec, method_name: str,

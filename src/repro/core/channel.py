@@ -25,19 +25,20 @@ The transfer cost itself comes from the channel's *provider*
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass, fields
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import ChannelClosedError, ChannelError
-from repro.core.call import Call
+from repro.core.call import Call, CallBatch
 from repro.core.sites import ExecutionSite
 from repro.sim.engine import Event
 from repro.sim.resources import Resource, Store
 from repro.sim.trace import emit as trace_emit
 
 __all__ = ["ChannelKind", "Reliability", "SyncMode", "Buffering",
-           "ChannelConfig", "ChannelStats", "CorruptedPayload", "Message",
-           "Endpoint", "Channel"]
+           "BatchConfig", "ChannelConfig", "ChannelStats",
+           "CorruptedPayload", "Message", "Endpoint", "Channel"]
 
 
 class ChannelKind(enum.Enum):
@@ -61,8 +62,58 @@ class Buffering(enum.Enum):
 
 
 @dataclass(frozen=True)
+class BatchConfig:
+    """Coalescing watermarks for a batched channel.
+
+    A flush happens at whichever watermark trips first: the pending
+    batch reaches ``max_bytes`` of payload, collects ``max_calls``
+    entries, or its oldest entry has waited ``deadline_ns``.  With
+    ``adaptive`` set (the default) the Channel Executive bypasses
+    coalescing entirely while traffic is too sparse to fill a batch
+    inside the deadline — a paced media stream keeps its per-message
+    latency, and batching engages only under load.
+    """
+
+    max_bytes: int = 16 * 1024
+    max_calls: int = 32
+    deadline_ns: int = 500_000          # 0.5 ms
+    adaptive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_bytes <= 0:
+            raise ChannelError(
+                f"batch max_bytes must be positive: {self.max_bytes}")
+        if self.max_calls <= 0:
+            raise ChannelError(
+                f"batch max_calls must be positive: {self.max_calls}")
+        if self.deadline_ns <= 0:
+            raise ChannelError(
+                f"batch deadline_ns must be positive: {self.deadline_ns}")
+
+
+# Deprecation shim plumbing: the fluent builder and internal copy-on-write
+# helpers construct configs with this flag raised so only *user* code that
+# still passes raw enum kwargs sees the DeprecationWarning.
+_BUILDER_DEPTH = 0
+
+_DEPRECATED_ENUM_KWARGS = ("kind", "reliability", "sync", "buffering")
+
+
+@dataclass(frozen=True, init=False)
 class ChannelConfig:
-    """The ``ChannelConfig`` structure of Figure 3."""
+    """The ``ChannelConfig`` structure of Figure 3, as a fluent builder.
+
+    The blessed construction style reads as a sentence::
+
+        ChannelConfig.unicast().reliable().zero_copy().batched(
+            max_bytes=16 * 1024)
+
+    Every fluent step returns a new frozen config, so partial configs
+    can be shared and specialized freely.  The legacy constructor
+    keyword style (``ChannelConfig(kind=ChannelKind.UNICAST, ...)``)
+    still works but emits a single :class:`DeprecationWarning` per call;
+    it will be removed once nothing ships it.
+    """
 
     kind: ChannelKind = ChannelKind.UNICAST
     reliability: Reliability = Reliability.RELIABLE
@@ -74,14 +125,136 @@ class ChannelConfig:
     # Application tag carried in the channel-availability notification;
     # Offcodes use it to recognise which of their channels is which.
     label: str = ""
+    # Coalescing watermarks; None = unbatched (the default).
+    batch: Optional[BatchConfig] = None
 
-    def __post_init__(self) -> None:
-        if self.ring_slots <= 0:
-            raise ChannelError(f"ring_slots must be positive: {self.ring_slots}")
+    def __init__(self, kind: ChannelKind = ChannelKind.UNICAST,
+                 reliability: Reliability = Reliability.RELIABLE,
+                 sync: SyncMode = SyncMode.SEQUENTIAL,
+                 buffering: Buffering = Buffering.DIRECT,
+                 ring_slots: int = 64, priority: int = 1,
+                 target_device: Optional[str] = None, label: str = "",
+                 batch: Optional[BatchConfig] = None) -> None:
+        """Build a config; prefer the fluent classmethods over raw kwargs."""
+        if _BUILDER_DEPTH == 0:
+            explicit = [name for name, value, default in (
+                ("kind", kind, ChannelKind.UNICAST),
+                ("reliability", reliability, Reliability.RELIABLE),
+                ("sync", sync, SyncMode.SEQUENTIAL),
+                ("buffering", buffering, Buffering.DIRECT),
+            ) if value is not default]
+            if explicit:
+                warnings.warn(
+                    "raw ChannelConfig enum kwargs "
+                    f"({', '.join(explicit)}) are deprecated; use the "
+                    "fluent builder, e.g. ChannelConfig.unicast()"
+                    ".reliable().zero_copy()",
+                    DeprecationWarning, stacklevel=2)
+        if ring_slots <= 0:
+            raise ChannelError(f"ring_slots must be positive: {ring_slots}")
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "reliability", reliability)
+        object.__setattr__(self, "sync", sync)
+        object.__setattr__(self, "buffering", buffering)
+        object.__setattr__(self, "ring_slots", ring_slots)
+        object.__setattr__(self, "priority", priority)
+        object.__setattr__(self, "target_device", target_device)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "batch", batch)
+
+    # -- internal copy-on-write (never warns) ---------------------------------------
+
+    def _evolve(self, **changes: Any) -> "ChannelConfig":
+        global _BUILDER_DEPTH
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        _BUILDER_DEPTH += 1
+        try:
+            return ChannelConfig(**current)
+        finally:
+            _BUILDER_DEPTH -= 1
+
+    # -- fluent entry points ---------------------------------------------------------
+
+    @classmethod
+    def unicast(cls) -> "ChannelConfig":
+        """Start a fluent config for a two-endpoint channel."""
+        global _BUILDER_DEPTH
+        _BUILDER_DEPTH += 1
+        try:
+            return cls()
+        finally:
+            _BUILDER_DEPTH -= 1
+
+    @classmethod
+    def multicast(cls) -> "ChannelConfig":
+        """Start a fluent config for a one-sender/many-receivers channel."""
+        return cls.unicast()._evolve(kind=ChannelKind.MULTICAST)
+
+    # -- fluent refinements ------------------------------------------------------------
+
+    def reliable(self) -> "ChannelConfig":
+        """Blocking-writer semantics: no message is ever dropped."""
+        return self._evolve(reliability=Reliability.RELIABLE)
+
+    def unreliable(self) -> "ChannelConfig":
+        """Drop-on-full semantics (and the only home for fault filters)."""
+        return self._evolve(reliability=Reliability.UNRELIABLE)
+
+    def sequential(self) -> "ChannelConfig":
+        """Strict FIFO end-to-end: one message in flight at a time."""
+        return self._evolve(sync=SyncMode.SEQUENTIAL)
+
+    def unordered(self) -> "ChannelConfig":
+        """Let transfers overlap (no end-to-end serialization)."""
+        return self._evolve(sync=SyncMode.NONE)
+
+    def zero_copy(self) -> "ChannelConfig":
+        """Request the DIRECT (pinned-buffer, zero-copy) data path."""
+        return self._evolve(buffering=Buffering.DIRECT)
+
+    def copied(self) -> "ChannelConfig":
+        """Request bounce-buffer (copying) semantics."""
+        return self._evolve(buffering=Buffering.COPY)
+
+    def batched(self, max_bytes: Optional[int] = None,
+                max_calls: Optional[int] = None,
+                deadline_ns: Optional[int] = None,
+                adaptive: Optional[bool] = None) -> "ChannelConfig":
+        """Enable vectored coalescing with the given watermarks.
+
+        Omitted knobs take the :class:`BatchConfig` defaults; calling
+        ``batched()`` on an already-batched config refines the existing
+        watermarks.
+        """
+        base = self.batch or BatchConfig()
+        batch = BatchConfig(
+            max_bytes=base.max_bytes if max_bytes is None else max_bytes,
+            max_calls=base.max_calls if max_calls is None else max_calls,
+            deadline_ns=(base.deadline_ns if deadline_ns is None
+                         else deadline_ns),
+            adaptive=base.adaptive if adaptive is None else adaptive)
+        return self._evolve(batch=batch)
+
+    def unbatched(self) -> "ChannelConfig":
+        """Disable coalescing (every message is its own transaction)."""
+        return self._evolve(batch=None)
+
+    def with_ring_slots(self, slots: int) -> "ChannelConfig":
+        """Set the receive-ring depth."""
+        return self._evolve(ring_slots=slots)
+
+    def with_priority(self, priority: int) -> "ChannelConfig":
+        """Set the delivery priority (0 = the low-priority OOB class)."""
+        return self._evolve(priority=priority)
+
+    def labeled(self, label: str) -> "ChannelConfig":
+        """Set the application tag carried in availability notices."""
+        return self._evolve(label=label)
 
     def with_target(self, device: Optional[str]) -> "ChannelConfig":
         """Copy of this config with ``target_device`` set (Figure 3)."""
-        return replace(self, target_device=device)
+        return self._evolve(target_device=device)
 
 
 @dataclass(frozen=True)
@@ -101,6 +274,7 @@ class ChannelStats:
     dropped: int
     corrupted: int
     bytes: int
+    batches: int = 0
 
 
 class CorruptedPayload:
@@ -155,7 +329,18 @@ class Endpoint:
 
     def write(self, payload: Any, size_bytes: int
               ) -> Generator[Event, None, None]:
-        """Send ``payload`` to every other endpoint of the channel."""
+        """Send ``payload`` to every other endpoint of the channel.
+
+        On a batched channel the payload may be coalesced by the Channel
+        Executive's batcher and ride a later vectored transaction; the
+        write completes when the payload is safely enqueued (or, on
+        flush, when the whole batch has moved).
+        """
+        batcher = self.channel.batcher
+        if batcher is not None:
+            coalesced = yield from batcher.offer(self, payload, size_bytes)
+            if coalesced:
+                return
         yield from self.channel._write_from(self, payload, size_bytes)
 
     def read(self) -> Generator[Event, None, Message]:
@@ -248,6 +433,10 @@ class Channel:
         self.drops = 0
         self.delivered = 0
         self.corrupted = 0
+        self.batches_sent = 0
+        # Adaptive coalescer, attached by the Channel Executive when the
+        # config carries a BatchConfig (None = classic per-message path).
+        self.batcher = None
         # Fault-injection hook: payload -> "drop" | "corrupt" | None.
         self._fault_filter: Optional[Callable[[Message], Optional[str]]] = None
         self._sequencer: Optional[Resource] = (
@@ -317,7 +506,7 @@ class Channel:
             channel_id=self.channel_id, label=self.config.label,
             sent=self.messages_sent, delivered=self.delivered,
             dropped=self.drops, corrupted=self.corrupted,
-            bytes=self.bytes_sent)
+            bytes=self.bytes_sent, batches=self.batches_sent)
 
     def _check_open(self) -> None:
         if self.closed:
@@ -378,15 +567,88 @@ class Channel:
             else:
                 self.delivered += 1
 
+    def send_vectored(self, source: Endpoint, batch: CallBatch
+                      ) -> Generator[Event, None, None]:
+        """Move a whole :class:`CallBatch` as one vectored transaction.
+
+        The provider pays a *single* scatter-gather transfer for the
+        batch (one bus transaction on scatter-gather hardware) instead
+        of one per entry; each entry is then delivered as its own
+        :class:`Message`, stamped with its original enqueue time so
+        latency accounting includes the coalescing wait.
+        """
+        self._check_open()
+        if batch.count == 0:
+            return
+        if not self.connected:
+            raise ChannelError(
+                f"channel #{self.channel_id} has no remote endpoint")
+        destinations = [e for e in self.endpoints if e is not source]
+        if self._sequencer is not None:
+            yield self._sequencer.request()
+        try:
+            yield from self.provider.transfer_vectored(
+                self, source, destinations, batch)
+        finally:
+            if self._sequencer is not None:
+                self._sequencer.release()
+        source.messages_out += batch.count
+        self.messages_sent += batch.count
+        self.batches_sent += 1
+        self.bytes_sent += batch.size_bytes
+        trace_emit(source.site.sim, "channel",
+                   f"#{self.channel_id} {source.site.name} => "
+                   f"{','.join(d.site.name for d in destinations)} "
+                   f"[batch n={batch.count}]",
+                   bytes=batch.size_bytes, batch=batch.count)
+        for entry in batch:
+            message = Message(payload=entry.payload,
+                              size_bytes=entry.size_bytes,
+                              sent_at_ns=entry.enqueued_at_ns,
+                              source=source.site.name)
+            if self._fault_filter is not None:
+                verdict = self._fault_filter(message)
+                if verdict == "drop":
+                    self.drops += 1
+                    trace_emit(source.site.sim, "fault",
+                               f"#{self.channel_id} batched message "
+                               "dropped in flight",
+                               channel=self.channel_id,
+                               label=self.config.label)
+                    continue
+                if verdict == "corrupt":
+                    self.corrupted += 1
+                    message = Message(
+                        payload=CorruptedPayload(message.payload),
+                        size_bytes=message.size_bytes,
+                        sent_at_ns=message.sent_at_ns,
+                        source=message.source)
+            for destination in destinations:
+                dropped_before = destination.rx.dropped
+                yield from destination._deliver(message)
+                delta = destination.rx.dropped - dropped_before
+                if delta > 0:
+                    self.drops += delta
+                else:
+                    self.delivered += 1
+
     # -- call convenience ------------------------------------------------------------------
 
     def send_call(self, source: Endpoint, call: Call
                   ) -> Generator[Event, None, Any]:
         """Send a Call and (for two-way methods) await its return value.
 
-        Returns the *encoded* result; proxies decode it against the
-        interface spec.
+        One-way Calls on a batched channel may be coalesced into a
+        vectored transaction by the Channel Executive's batcher; two-way
+        Calls always take the direct path (the caller is blocked on the
+        reply).  Returns the *encoded* result; proxies decode it against
+        the interface spec.
         """
+        if call.one_way and self.batcher is not None:
+            coalesced = yield from self.batcher.offer(source, call,
+                                                      call.size_bytes)
+            if coalesced:
+                return None
         yield from self._write_from(source, call, call.size_bytes)
         if call.return_descriptor is None:
             return None

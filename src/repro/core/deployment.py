@@ -24,13 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
 from repro.errors import DeploymentError
-from repro.core.channel import (
-    Buffering,
-    ChannelConfig,
-    ChannelKind,
-    Reliability,
-    SyncMode,
-)
+from repro.core.channel import ChannelConfig
 from repro.core.layout.objectives import Objective
 from repro.core.layout.resolver import ResolvedLayout
 from repro.core.loader import LoadReport, OffcodeImage, compile_for_target
@@ -44,14 +38,8 @@ __all__ = ["DeploymentReport", "DeploymentPipeline", "OOB_CHANNEL_CONFIG"]
 # "The runtime assigns a default connectionless channel, called the
 # Out-Of-Band Channel ... for initialization and control traffic that is
 # not performance critical" — low priority, copying semantics.
-OOB_CHANNEL_CONFIG = ChannelConfig(
-    kind=ChannelKind.UNICAST,
-    reliability=Reliability.RELIABLE,
-    sync=SyncMode.SEQUENTIAL,
-    buffering=Buffering.COPY,
-    ring_slots=32,
-    priority=0,
-)
+OOB_CHANNEL_CONFIG = (ChannelConfig.unicast().reliable().sequential()
+                      .copied().with_ring_slots(32).with_priority(0))
 
 
 @dataclass
@@ -137,6 +125,10 @@ class DeploymentPipeline:
         layout = runtime.resolver.resolve(documents, objective=objective,
                                           pinned=pinned, exclude=exclude,
                                           degraded=bool(exclude))
+        # A re-solve can move Offcodes between sites, so every memoized
+        # provider ranking is suspect: retire the executive's cost cache
+        # by advancing the layout epoch.
+        runtime.executive.invalidate_cost_cache()
 
         report = DeploymentReport(root_bindname=roots[0], layout=layout,
                                   roots=list(roots))

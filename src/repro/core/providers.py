@@ -27,6 +27,7 @@ from typing import Generator, List, Optional
 
 from repro import units
 from repro.errors import ProviderError
+from repro.core.call import CallBatch
 from repro.core.channel import Buffering, Channel, ChannelConfig, Endpoint
 from repro.core.memory import MemoryManager
 from repro.core.rings import Descriptor, DescriptorRing
@@ -43,6 +44,9 @@ _DESCRIPTOR_HOST_NS = 500
 _DESCRIPTOR_DEVICE_NS = 900
 _POINTER_HANDOFF_NS = 300
 _LOCAL_COPY_NS_PER_BYTE = 0.9
+# Per-entry cost of walking a chained scatter-gather descriptor list at
+# the receiver (far cheaper than a full per-message descriptor cycle).
+_BATCH_UNBUNDLE_NS = 120
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,15 @@ class ChannelProvider:
                  ) -> Generator[Event, None, None]:
         """Process generator: move one message, charging all costs."""
         raise NotImplementedError
+
+    def transfer_vectored(self, channel: Channel, source: Endpoint,
+                          destinations: List[Endpoint], batch: CallBatch
+                          ) -> Generator[Event, None, None]:
+        """Move a whole batch; the base class falls back to a per-entry
+        loop so providers without scatter-gather support stay correct
+        (just without the single-transaction win)."""
+        for size in batch.entry_sizes():
+            yield from self.transfer(channel, source, destinations, size)
 
     def on_channel_created(self, channel: Channel) -> None:
         """Hook for per-channel resources (rings, shared memory)."""
@@ -130,6 +143,26 @@ class LoopbackProvider(ChannelProvider):
             self.machine.l2.access_range(0x3000_0000, size_bytes)
             self.machine.l2.access_range(0x3400_0000, size_bytes, write=True)
         yield from site.execute(cost, context="channel")
+
+    def transfer_vectored(self, channel: Channel, source: Endpoint,
+                          destinations: List[Endpoint], batch: CallBatch
+                          ) -> Generator[Event, None, None]:
+        """One handoff (or one bulk copy) for the whole batch."""
+        site = source.site
+        if channel.config.buffering is Buffering.DIRECT:
+            # A single pointer handoff publishes the chained list; each
+            # receiver walks the per-entry descriptors.
+            yield from site.execute(
+                _POINTER_HANDOFF_NS + _BATCH_UNBUNDLE_NS * batch.count,
+                context="channel")
+            return
+        total = batch.size_bytes
+        cost = round(total * _LOCAL_COPY_NS_PER_BYTE) or 1
+        if isinstance(site, HostSite):
+            self.machine.l2.access_range(0x3000_0000, total)
+            self.machine.l2.access_range(0x3400_0000, total, write=True)
+        yield from site.execute(cost + _BATCH_UNBUNDLE_NS * batch.count,
+                                context="channel")
 
 
 class DmaChannelProvider(ChannelProvider):
@@ -185,6 +218,72 @@ class DmaChannelProvider(ChannelProvider):
             yield from self._host_to_device(channel, source, size)
         else:
             yield from self._device_to_host(channel, source, size)
+
+    def transfer_vectored(self, channel: Channel, source: Endpoint,
+                          destinations: List[Endpoint], batch: CallBatch
+                          ) -> Generator[Event, None, None]:
+        """One descriptor + one scatter-gather DMA for the whole batch.
+
+        The ring sees a *single* chained descriptor; the DMA engine
+        gathers every entry in one bus transaction
+        (:meth:`~repro.hw.device.ProgrammableDevice.dma_from_host_vectored`).
+        Devices without the ``scatter-gather`` feature fall back to the
+        per-entry loop.
+        """
+        if not self.device.supports_vectored_dma:
+            yield from ChannelProvider.transfer_vectored(
+                self, channel, source, destinations, batch)
+            return
+        sizes = batch.entry_sizes()
+        to_device = isinstance(source.site, HostSite)
+        if to_device:
+            host = source.site
+            if channel.config.buffering is Buffering.COPY:
+                if self.kernel is not None:
+                    yield from self.kernel.copy_from_user(
+                        batch.size_bytes, context="channel")
+                else:
+                    yield from host.execute(
+                        round(batch.size_bytes * _LOCAL_COPY_NS_PER_BYTE),
+                        context="channel")
+            else:
+                region = yield from self.memory.pin(self._pin_cursor,
+                                                    batch.size_bytes)
+                del region
+            yield from host.execute(_DESCRIPTOR_HOST_NS, context="channel")
+            ring: DescriptorRing = channel.in_ring
+            while not ring.post(Descriptor(address=self._pin_cursor,
+                                           length=batch.size_bytes)):
+                yield host.sim.timeout(2_000)
+            yield from self.device.dma_from_host_vectored(sizes)
+            ring.consume()
+            yield from self.device.run_on_device(
+                _DESCRIPTOR_DEVICE_NS + _BATCH_UNBUNDLE_NS * batch.count,
+                context="channel")
+        else:
+            yield from self.device.run_on_device(_DESCRIPTOR_DEVICE_NS,
+                                                 context="channel")
+            ring = channel.out_ring
+            while not ring.post(Descriptor(address=0,
+                                           length=batch.size_bytes)):
+                yield self.device.sim.timeout(2_000)
+            yield from self.device.dma_to_host_vectored(sizes)
+            ring.consume()
+            # One completion interrupt covers the whole batch — interrupt
+            # mitigation falls straight out of coalescing.
+            if self.kernel is not None and channel.config.priority > 0:
+                yield from self.kernel.isr()
+            if channel.config.buffering is Buffering.COPY:
+                if self.kernel is not None:
+                    yield from self.kernel.copy_to_user(
+                        batch.size_bytes, context="channel")
+                else:
+                    host = next((e.site for e in channel.endpoints
+                                 if isinstance(e.site, HostSite)), None)
+                    if host is not None:
+                        yield from host.execute(
+                            round(batch.size_bytes * _LOCAL_COPY_NS_PER_BYTE),
+                            context="channel")
 
     def _host_to_device(self, channel: Channel, source: Endpoint,
                         size: int) -> Generator[Event, None, None]:
@@ -293,3 +392,44 @@ class PeerDmaProvider(ChannelProvider):
         for destination in destinations:
             yield from destination.site.execute(_DESCRIPTOR_DEVICE_NS,
                                                 context="channel")
+
+    def transfer_vectored(self, channel: Channel, source: Endpoint,
+                          destinations: List[Endpoint], batch: CallBatch
+                          ) -> Generator[Event, None, None]:
+        """One peer scatter-gather transaction for the whole batch.
+
+        Multicast batches combine the two hardware tricks: a single
+        chained-descriptor transfer that every recipient snoops.
+        """
+        src_dev = self._device_of(source.site)
+        if src_dev is None:
+            raise ProviderError("peer provider used from a host endpoint")
+        if not src_dev.supports_vectored_dma:
+            yield from ChannelProvider.transfer_vectored(
+                self, channel, source, destinations, batch)
+            return
+        sizes = batch.entry_sizes()
+        yield from src_dev.run_on_device(_DESCRIPTOR_DEVICE_NS,
+                                         context="channel")
+        dst_names = []
+        for destination in destinations:
+            dst_dev = self._device_of(destination.site)
+            if dst_dev is None:
+                raise ProviderError("peer provider reached a host endpoint")
+            dst_names.append(dst_dev.name)
+        if len(dst_names) == 1:
+            yield from src_dev.dma_to_peer_vectored(dst_names[0], sizes)
+        elif src_dev.spec.has_feature("multicast-hw"):
+            # The batch is already one contiguous chained list, so the
+            # hardware-multicast transaction carries it whole.
+            yield from src_dev.bus.multicast_transfer(
+                src_dev.name, dst_names, batch.size_bytes)
+            src_dev.bus.sg_transfers += 1
+            src_dev.bus.sg_entries += len(sizes)
+        else:
+            for name in dst_names:
+                yield from src_dev.dma_to_peer_vectored(name, sizes)
+        for destination in destinations:
+            yield from destination.site.execute(
+                _DESCRIPTOR_DEVICE_NS + _BATCH_UNBUNDLE_NS * batch.count,
+                context="channel")

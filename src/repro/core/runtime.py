@@ -25,10 +25,12 @@ executive exactly as in Figure 3.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, Iterable, List, Optional, Set
+from typing import (Callable, Dict, Generator, Iterable, List, Optional,
+                    Set, Tuple)
 
-from repro.errors import HydraError, OffcodeError
+from repro.errors import DeploymentError, HydraError, OffcodeError
 from repro.core.channel import Channel, ChannelConfig, ChannelStats
 from repro.core.deployment import DeploymentPipeline, DeploymentReport
 from repro.core.depot import OffcodeDepot
@@ -58,8 +60,8 @@ from repro.hw.machine import Machine
 from repro.sim.engine import Event, Simulator
 from repro.sim.trace import emit as trace_emit
 
-__all__ = ["HydraRuntime", "CreateOffcodeResult", "CleanupReport",
-           "RecoveryIncident"]
+__all__ = ["HydraRuntime", "DeploymentSpec", "DeploymentResult",
+           "CreateOffcodeResult", "CleanupReport", "RecoveryIncident"]
 
 
 @dataclass
@@ -130,6 +132,61 @@ class CreateOffcodeResult:
     @property
     def location(self) -> str:
         """Where the root Offcode landed (device name or 'host')."""
+        return self.offcode.location
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Typed description of one deployment request.
+
+    The single entry point :meth:`HydraRuntime.deploy` takes one of
+    these instead of the historical ``create_offcode(path, interface)``
+    / ``deploy_joint(paths)`` split: one ODF path deploys a single
+    application, several paths deploy them under one joint layout solve
+    (Section 5's multi-application scenario).
+
+    ``proxy`` asks for a host-side proxy channel to the first root;
+    ``interface`` names the interface it should expose (default: the
+    root's first declared interface); ``proxy_config`` overrides the
+    proxy channel's :class:`~repro.core.channel.ChannelConfig` — the
+    place to hang ``.batched(...)`` watermarks on the control plane.
+    """
+
+    odf_paths: Tuple[str, ...]
+    interface: Optional[str] = None
+    objective: Optional[Objective] = None
+    proxy: bool = True
+    proxy_config: Optional[ChannelConfig] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.odf_paths, str):
+            # A lone path is a common slip; accept it rather than
+            # iterating its characters.
+            object.__setattr__(self, "odf_paths", (self.odf_paths,))
+        else:
+            object.__setattr__(self, "odf_paths", tuple(self.odf_paths))
+        if not self.odf_paths:
+            raise DeploymentError(
+                "DeploymentSpec needs at least one ODF path")
+
+
+@dataclass
+class DeploymentResult:
+    """What :meth:`HydraRuntime.deploy` returns.
+
+    ``proxy`` and ``channel`` are populated only when the spec asked for
+    a proxy (the default) — multi-application deployments typically
+    reach each root via :meth:`HydraRuntime.get_offcode` instead.
+    """
+
+    report: DeploymentReport
+    offcode: Offcode
+    proxy: Optional[Proxy] = None
+    channel: Optional[Channel] = None
+
+    @property
+    def location(self) -> str:
+        """Where the first root Offcode landed (device name or 'host')."""
         return self.offcode.location
 
 
@@ -248,31 +305,38 @@ class HydraRuntime:
 
     # -- programming model entry points ----------------------------------------------------
 
-    def create_offcode(self, odf_path: str,
-                       interface: Optional[str] = None,
-                       objective: Optional[Objective] = None
-                       ) -> Generator[Event, None, CreateOffcodeResult]:
-        """``CreateOffcode``: deploy the ODF closure, connect a channel
-        to the root Offcode and return a user-space proxy for it.
+    def deploy(self, spec: DeploymentSpec
+               ) -> Generator[Event, None, DeploymentResult]:
+        """The unified deployment entry point.
 
-        ``interface`` names the interface the proxy should expose
-        (default: the root Offcode's first declared interface) — the
-        ``IID`` argument of the paper's API.
+        Runs Figure 5 for the spec's ODF closure(s) — one path deploys a
+        single application; several run under one joint layout solve —
+        and, when ``spec.proxy`` is set, wires a host-side proxy channel
+        to the first root and returns a transparent proxy over the
+        requested interface.
         """
-        report = yield from self.pipeline.deploy(odf_path,
-                                                 objective=objective)
+        if len(spec.odf_paths) == 1:
+            report = yield from self.pipeline.deploy(
+                spec.odf_paths[0], objective=spec.objective)
+        else:
+            report = yield from self.pipeline.deploy_many(
+                list(spec.odf_paths), objective=spec.objective)
         offcode = report.root_offcode
-        document = self.library.load(odf_path)
-        if interface is None:
+        result = DeploymentResult(report=report, offcode=offcode)
+        if not spec.proxy:
+            return result
+        document = self.library.load(spec.odf_paths[0])
+        if spec.interface is None:
             if not document.interfaces:
                 raise HydraError(
                     f"{document.bindname} declares no interfaces; "
                     "pass one explicitly")
-            spec = document.interfaces[0]
+            iface = document.interfaces[0]
         else:
-            spec = document.interface(interface)
+            iface = document.interface(spec.interface)
+        config = spec.proxy_config or ChannelConfig.unicast()
         channel = self.executive.create_channel(
-            ChannelConfig().with_target(offcode.location), self.host_site)
+            config.with_target(offcode.location), self.host_site)
         self.executive.connect_offcode(channel, offcode)
         # The proxy channel belongs to the Offcode's resource subtree.
         try:
@@ -282,18 +346,52 @@ class HydraRuntime:
                 kind="channel", parent=node, finalizer=channel.close)
         except HydraError:
             pass   # pseudo/reused offcodes may not be tracked
-        proxy = Proxy(spec, channel, channel.creator_endpoint)
-        return CreateOffcodeResult(proxy=proxy, offcode=offcode,
-                                   channel=channel, report=report)
+        result.channel = channel
+        result.proxy = Proxy(iface, channel, channel.creator_endpoint)
+        return result
+
+    def create_offcode(self, odf_path: str,
+                       interface: Optional[str] = None,
+                       objective: Optional[Objective] = None
+                       ) -> Generator[Event, None, CreateOffcodeResult]:
+        """``CreateOffcode``: deploy the ODF closure, connect a channel
+        to the root Offcode and return a user-space proxy for it.
+
+        .. deprecated::
+            Thin wrapper over :meth:`deploy`; build a
+            :class:`DeploymentSpec` instead.
+        """
+        warnings.warn(
+            "HydraRuntime.create_offcode is deprecated; use "
+            "runtime.deploy(DeploymentSpec(odf_paths=(path,)))",
+            DeprecationWarning, stacklevel=2)
+        result = yield from self.deploy(DeploymentSpec(
+            odf_paths=(odf_path,), interface=interface,
+            objective=objective))
+        return CreateOffcodeResult(proxy=result.proxy,
+                                   offcode=result.offcode,
+                                   channel=result.channel,
+                                   report=result.report)
 
     def deploy_joint(self, odf_paths: list,
                      objective: Optional[Objective] = None
                      ) -> Generator[Event, None, DeploymentReport]:
         """Deploy several applications under one joint layout solve
         (Section 5's multi-application scenario); returns the combined
-        report.  Use :meth:`get_offcode` to reach each root afterwards."""
-        return (yield from self.pipeline.deploy_many(odf_paths,
-                                                     objective=objective))
+        report.  Use :meth:`get_offcode` to reach each root afterwards.
+
+        .. deprecated::
+            Thin wrapper over :meth:`deploy`; build a
+            :class:`DeploymentSpec` with several paths and
+            ``proxy=False`` instead.
+        """
+        warnings.warn(
+            "HydraRuntime.deploy_joint is deprecated; use "
+            "runtime.deploy(DeploymentSpec(odf_paths=paths, proxy=False))",
+            DeprecationWarning, stacklevel=2)
+        result = yield from self.deploy(DeploymentSpec(
+            odf_paths=tuple(odf_paths), objective=objective, proxy=False))
+        return result.report
 
     def create_channel(self, config: ChannelConfig) -> Channel:
         """``CreateChannel`` (Figure 3, step 1): creator endpoint on the

@@ -26,14 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
 from repro.errors import DeviceFailedError, HydraError
-from repro.core.channel import (
-    Buffering,
-    ChannelConfig,
-    ChannelKind,
-    Endpoint,
-    Reliability,
-    SyncMode,
-)
+from repro.core.channel import ChannelConfig, Endpoint
 from repro.sim.engine import Event
 from repro.sim.trace import emit as trace_emit
 
@@ -100,15 +93,9 @@ class DeviceWatchdog:
         if self._watches:
             raise HydraError("watchdog already started")
         for name, device_runtime in self.runtime.device_runtimes.items():
-            cfg = ChannelConfig(
-                kind=ChannelKind.UNICAST,
-                reliability=Reliability.RELIABLE,
-                sync=SyncMode.SEQUENTIAL,
-                buffering=Buffering.COPY,
-                ring_slots=32,
-                priority=0,
-                label=f"hydra.watchdog/{name}",
-            )
+            cfg = (ChannelConfig.unicast().reliable().sequential()
+                   .copied().with_ring_slots(32).with_priority(0)
+                   .labeled(f"hydra.watchdog/{name}"))
             channel = self.runtime.executive.create_channel(
                 cfg, self.runtime.host_site)
             device_ep = self.runtime.executive.connect_site(

@@ -78,6 +78,11 @@ class Bus:
         self.transfers: List[TransferRecord] = []
         self.bytes_moved = 0
         self.crossings: Dict[Tuple[str, str], int] = {}
+        # Scatter-gather accounting: vectored transfers move several
+        # logical messages in one transaction; these counters let the
+        # batching benchmark report amortization directly.
+        self.sg_transfers = 0
+        self.sg_entries = 0
         self.record_log = False   # keep full TransferRecord list (tests/debug)
         # Fault injection: each pending transient corrupts one transaction,
         # which the link layer detects and replays (one extra serialization).
@@ -142,6 +147,25 @@ class Bus:
             return 2
         yield from self._single_transfer(src, dst, size_bytes)
         return 1
+
+    def transfer_scatter(self, src: str, dst: str, sizes: List[int]
+                         ) -> Generator[Event, None, int]:
+        """Move a scatter-gather list in a single bus transaction.
+
+        The DMA engine chains the descriptors, so the bus is arbitrated
+        once and the payloads serialize back to back — one transaction
+        regardless of how many logical messages ride in it.  On a
+        non-peer-to-peer bus a device-to-device list still stages
+        through host memory (two transactions), like :meth:`transfer`.
+        Returns the number of bus transactions performed.
+        """
+        if not sizes:
+            raise BusError("scatter transfer requires at least one entry")
+        total = sum(sizes)
+        count = yield from self.transfer(src, dst, total)
+        self.sg_transfers += count
+        self.sg_entries += len(sizes)
+        return count
 
     def multicast_transfer(self, src: str, dsts: List[str], size_bytes: int
                            ) -> Generator[Event, None, int]:

@@ -324,6 +324,33 @@ class ProgrammableDevice:
         yield from self.health.barrier()
         return (yield from self.bus.transfer(self.name, peer, size_bytes))
 
+    # -- vectored (scatter-gather) DMA ------------------------------------------
+
+    @property
+    def supports_vectored_dma(self) -> bool:
+        """True when the DMA engine chains descriptors (scatter-gather)."""
+        return self.spec.has_feature("scatter-gather")
+
+    def dma_to_host_vectored(self, sizes: List[int]
+                             ) -> Generator[Event, None, int]:
+        """One chained DMA moving several buffers into host memory."""
+        yield from self.health.barrier()
+        return (yield from self.bus.transfer_scatter(self.name, HOST_MEMORY,
+                                                     sizes))
+
+    def dma_from_host_vectored(self, sizes: List[int]
+                               ) -> Generator[Event, None, int]:
+        """One chained DMA moving several host buffers into the device."""
+        yield from self.health.barrier()
+        return (yield from self.bus.transfer_scatter(HOST_MEMORY, self.name,
+                                                     sizes))
+
+    def dma_to_peer_vectored(self, peer: str, sizes: List[int]
+                             ) -> Generator[Event, None, int]:
+        """One chained device-to-device DMA for a scatter-gather list."""
+        yield from self.health.barrier()
+        return (yield from self.bus.transfer_scatter(self.name, peer, sizes))
+
     # -- host interrupts ---------------------------------------------------------
 
     def set_interrupt_handler(self, handler: Callable[[str, object], None]) -> None:

@@ -38,7 +38,7 @@ def DiskSpec(name: str = "disk0", vendor: str = "generic-storage",
         local_memory_bytes=local_memory_bytes,
         vendor=vendor,
         bus_type="pci",
-        features=frozenset({"block-device", "dma-master"}),
+        features=frozenset({"block-device", "dma-master", "scatter-gather"}),
     )
 
 

@@ -31,7 +31,8 @@ def GpuSpec(name: str = "gpu0", vendor: str = "generic-gfx",
         local_memory_bytes=local_memory_bytes,
         vendor=vendor,
         bus_type="pci",
-        features=frozenset({"mpeg-assist", "framebuffer", "dma-master"}),
+        features=frozenset({"mpeg-assist", "framebuffer", "dma-master",
+                            "scatter-gather"}),
     )
 
 

@@ -15,6 +15,12 @@ Two receive paths exist, matching the paper's host vs. offloaded modes:
 Transmission likewise either originates from host memory (kernel path,
 one host-memory bus crossing) or from device memory (offloaded path,
 no host involvement).
+
+The ``scatter-gather`` feature advertised by :func:`NicSpec` is what the
+vectored channel path keys on: a channel provider may chain a whole
+:class:`~repro.core.call.CallBatch` into one descriptor list and move it
+across the bus as a single transaction
+(:meth:`~repro.hw.device.ProgrammableDevice.dma_to_peer_vectored`).
 """
 
 from __future__ import annotations

@@ -21,14 +21,9 @@ from typing import Generator, Optional
 
 from repro import units
 from repro.errors import InterruptError
-from repro.core.channel import (
-    Buffering,
-    ChannelConfig,
-    ChannelKind,
-    Reliability,
-    SyncMode,
-)
+from repro.core.channel import BatchConfig, ChannelConfig
 from repro.core.guid import guid_from_name
+from repro.core.runtime import DeploymentSpec
 from repro.core.layout.constraints import ConstraintType
 from repro.core.odf import DeviceClassFilter, OdfDocument, OdfImport
 from repro.hostos.nfs import HostNfsClient, RemoteFile
@@ -224,11 +219,15 @@ class OffloadedClient:
     FILE_ODF = "/tivopc/client/file.odf"
 
     def __init__(self, testbed: Testbed,
-                 host_fallback: bool = False) -> None:
+                 host_fallback: bool = False,
+                 batch: Optional[BatchConfig] = None) -> None:
         self.testbed = testbed
         self.runtime = testbed.client_runtime
         self.mux = testbed.client_mux()
         self.host_fallback = host_fallback
+        # Optional vectored-dispatch watermarks for the media data plane;
+        # None keeps the classic one-transaction-per-chunk path.
+        self.batch = batch
         self.net_streamer: Optional[NetStreamerOffcode] = None
         self.disk_streamer: Optional[DiskStreamerOffcode] = None
         self.decoder: Optional[DecoderOffcode] = None
@@ -334,11 +333,8 @@ class OffloadedClient:
             return
         runtime = self.runtime
         self.net_streamer = runtime.get_offcode("tivopc.NetStreamer")
-        config = ChannelConfig(kind=ChannelKind.UNICAST,
-                               reliability=Reliability.RELIABLE,
-                               sync=SyncMode.SEQUENTIAL,
-                               buffering=Buffering.COPY,
-                               label=StreamerOffcode.DATA_LABEL)
+        config = (ChannelConfig.unicast().reliable().sequential()
+                  .copied().labeled(StreamerOffcode.DATA_LABEL))
         for peer in (self.decoder, self.disk_streamer):
             channel = runtime.executive.create_channel_for_offcode(
                 config, self.net_streamer)
@@ -355,8 +351,8 @@ class OffloadedClient:
         self.testbed.sim.spawn(self._bring_up(), name="offloaded-client")
 
     def _bring_up(self) -> Generator[Event, None, None]:
-        result = yield from self.runtime.create_offcode(
-            self.NET_STREAMER_ODF)
+        result = yield from self.runtime.deploy(DeploymentSpec(
+            odf_paths=(self.NET_STREAMER_ODF,)))
         runtime = self.runtime
         self.net_streamer = result.offcode
         self.disk_streamer = runtime.get_offcode("tivopc.DiskStreamer")
@@ -378,11 +374,13 @@ class OffloadedClient:
         # The Figure-8 data plane: one multicast channel from the NIC
         # Streamer to the Decoder (GPU) and the disk Streamer — a single
         # bus transaction per media packet on a peer-to-peer bus.
-        config = ChannelConfig(kind=ChannelKind.MULTICAST,
-                               reliability=Reliability.RELIABLE,
-                               sync=SyncMode.SEQUENTIAL,
-                               buffering=Buffering.DIRECT,
-                               label=StreamerOffcode.DATA_LABEL)
+        config = (ChannelConfig.multicast().reliable().sequential()
+                  .zero_copy().labeled(StreamerOffcode.DATA_LABEL))
+        if self.batch is not None:
+            config = config.batched(max_bytes=self.batch.max_bytes,
+                                    max_calls=self.batch.max_calls,
+                                    deadline_ns=self.batch.deadline_ns,
+                                    adaptive=self.batch.adaptive)
         channel = runtime.executive.create_channel_for_offcode(
             config, self.net_streamer)
         runtime.executive.connect_offcode(channel, self.decoder)
@@ -404,8 +402,8 @@ class OffloadedClient:
         self.testbed.sim.spawn(self._playback_loop(), name="playback")
 
     def _playback_loop(self) -> Generator[Event, None, None]:
-        config = ChannelConfig(buffering=Buffering.DIRECT,
-                               label=StreamerOffcode.DATA_LABEL)
+        config = (ChannelConfig.unicast().zero_copy()
+                  .labeled(StreamerOffcode.DATA_LABEL))
         channel = self.runtime.executive.create_channel_for_offcode(
             config, self.disk_streamer)
         self.runtime.executive.connect_offcode(channel, self.decoder)

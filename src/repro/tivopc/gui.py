@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.errors import HydraError
-from repro.core.channel import Buffering, ChannelConfig
+from repro.core.channel import ChannelConfig
 from repro.core.proxy import Proxy
 from repro.sim.engine import Event
 from repro.tivopc.client import OffloadedClient
@@ -46,8 +46,8 @@ class GuiController:
                     "client not deployed yet; run the simulator past "
                     "OffloadedClient.start() first")
             channel = self.runtime.create_channel(
-                ChannelConfig(buffering=Buffering.COPY,
-                              label="tivopc.gui-control"))
+                ChannelConfig.unicast().copied()
+                .labeled("tivopc.gui-control"))
             self.runtime.connect_offcode(channel, self.client.net_streamer)
             self._proxy = Proxy(ISTREAMER, channel,
                                 channel.creator_endpoint)

@@ -32,6 +32,7 @@ from typing import Generator, Optional
 from repro import units
 from repro.errors import InterruptError
 from repro.core.guid import guid_from_name
+from repro.core.runtime import DeploymentSpec
 from repro.core.layout.constraints import ConstraintType
 from repro.core.odf import DeviceClassFilter, OdfDocument, OdfImport
 from repro.hostos.nfs import DeviceNfsClient, HostNfsClient, RemoteFile
@@ -274,7 +275,8 @@ class OffloadedServer:
         self.testbed.sim.spawn(self._bring_up(), name="offloaded-server")
 
     def _bring_up(self) -> Generator[Event, None, None]:
-        result = yield from self.runtime.create_offcode(self.BROADCAST_ODF)
+        result = yield from self.runtime.deploy(DeploymentSpec(
+            odf_paths=(self.BROADCAST_ODF,)))
         self.broadcast = result.offcode
         self.file = self.runtime.get_offcode("tivopc.File")
         assert self.broadcast.location == "nic0"

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import InterfaceError, MarshalError
 from repro.core import marshal
-from repro.core.call import Call, ReturnDescriptor, make_call
+from repro.core.call import ReturnDescriptor, make_call
 from repro.core.interfaces import InterfaceSpec, MethodSpec
 from repro.sim import Simulator
 

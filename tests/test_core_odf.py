@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ODFError
 from repro.core.guid import Guid, guid_from_name
-from repro.core.interfaces import InterfaceSpec, MethodSpec
 from repro.core.layout.constraints import ConstraintType
 from repro.core.odf import (
     DeviceClassFilter,

@@ -18,7 +18,6 @@ from repro.core.odf import (
     DeviceClassFilter,
     OdfDocument,
     OdfImport,
-    OdfLibrary,
 )
 from repro.core.pseudo import IHEAP, IRUNTIME
 from repro.hw import DeviceClass, Machine

@@ -6,7 +6,7 @@ import pytest
 
 from repro import units
 from repro.errors import OSError_
-from repro.hostos.kernel import BackgroundLoadConfig, Kernel, KernelConfig
+from repro.hostos.kernel import Kernel
 from repro.hostos.scheduler import SchedulerSpec, WakeupModel
 from repro.hw import CpuSampler, Machine
 from repro.sim import RandomStreams, Simulator

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.errors import SolverError
 from repro.core.layout import (
     BranchAndBoundSolver,

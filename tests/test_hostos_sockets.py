@@ -10,7 +10,6 @@ from repro.hostos import (
     Kernel,
     NFS_PORT,
     NfsServer,
-    NfsServerConfig,
     RemoteFile,
     UdpStack,
 )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.errors import HardwareError
 from repro.hw.cpu import Cpu, CpuSampler, CpuSpec
 from repro.sim import Simulator

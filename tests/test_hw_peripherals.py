@@ -6,7 +6,6 @@ from repro import units
 from repro.errors import DeviceError, HardwareError
 from repro.hw import (
     Bus,
-    BusSpec,
     DeviceClass,
     Gpu,
     Machine,

@@ -14,7 +14,7 @@ from repro.net import (
     Switch,
     SwitchSpec,
 )
-from repro.sim import RandomStreams, Simulator
+from repro.sim import Simulator
 
 
 def packet(src="a", dst="b", size=1000, sport=1, dport=2, payload=None):

@@ -6,13 +6,11 @@ channels conserve messages, link delivery preserves FIFO order, and the
 layout relaxation lattice is monotone.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.channel import (
     ChannelConfig,
-    ChannelKind,
     Reliability,
 )
 from repro.core.executive import ChannelExecutive

@@ -13,7 +13,18 @@ def python_blocks():
 def test_readme_has_a_quickstart_block():
     blocks = python_blocks()
     assert len(blocks) >= 1
-    assert "create_offcode" in blocks[0]
+    assert "runtime.deploy" in blocks[0]
+    assert "DeploymentSpec" in blocks[0]
+
+
+def test_readme_quickstart_uses_only_the_api_facade():
+    """The blessed surface is repro.api; the quickstart must not reach
+    into the deeper packages."""
+    import re as _re
+    imports = _re.findall(r"^(?:from|import)\s+(\S+)", python_blocks()[0],
+                          _re.MULTILINE)
+    assert imports, "quickstart has no imports?"
+    assert all(mod == "repro.api" for mod in imports), imports
 
 
 def test_readme_quickstart_executes(capsys):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InterruptError, ProcessError, SchedulingError
-from repro.sim import AllOf, AnyOf, Simulator
+from repro.sim import Simulator
 
 
 def test_timeout_advances_clock():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ProcessError, SchedulingError
-from repro.sim import AllOf, AnyOf, Simulator
+from repro.sim import Simulator
 
 
 def test_any_of_fails_if_first_child_fails():

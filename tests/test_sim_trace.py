@@ -1,8 +1,8 @@
 """Tests for the tracing facility."""
 
-import pytest
 
-from repro.core import HydraRuntime, InterfaceSpec, MethodSpec, Offcode
+from repro.core import (DeploymentSpec, HydraRuntime, InterfaceSpec,
+                        MethodSpec, Offcode)
 from repro.core.guid import Guid
 from repro.core.odf import DeviceClassFilter, OdfDocument
 from repro.hw import DeviceClass, Machine
@@ -84,7 +84,8 @@ def test_deployment_and_channels_are_traced():
     out = {}
 
     def app():
-        result = yield from runtime.create_offcode("/t.odf")
+        result = yield from runtime.deploy(
+            DeploymentSpec(odf_paths=("/t.odf",)))
         out["v"] = yield from result.proxy.Nop()
 
     sim.run_until_event(sim.spawn(app()))

@@ -4,7 +4,7 @@ import pytest
 
 from repro import units
 from repro.errors import OffcodeError
-from repro.core.channel import Buffering, ChannelConfig
+from repro.core.channel import ChannelConfig
 from repro.core.executive import ChannelExecutive
 from repro.core.offcode import OffcodeState
 from repro.core.providers import LoopbackProvider, PeerDmaProvider

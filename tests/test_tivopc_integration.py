@@ -6,7 +6,6 @@ carry the precise paper-vs-measured comparisons.
 
 import pytest
 
-from repro import units
 from repro.tivopc import (
     MeasurementClient,
     OffloadedClient,
