@@ -13,8 +13,10 @@ Rendered tables are printed and also written to
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import pathlib
-from typing import Dict
+from typing import Dict, Optional
 
 import pytest
 
@@ -45,10 +47,39 @@ def client_results():
     return _cache["client"]
 
 
-def publish(name: str, text: str) -> None:
-    """Print a rendered artifact and persist it under results/."""
+def to_jsonable(obj):
+    """Recursively convert experiment results to JSON-serializable data.
+
+    Handles dataclasses (SummaryStats, SweepPoint, ...), ``__slots__``
+    record classes, mappings and sequences; anything else falls back to
+    ``str`` so publishing never fails on an exotic field.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    slots = getattr(type(obj), "__slots__", None)
+    if slots is not None:
+        return {s: to_jsonable(getattr(obj, s)) for s in slots}
+    return str(obj)
+
+
+def publish(name: str, text: str, data: Optional[object] = None) -> None:
+    """Print a rendered artifact and persist it under results/.
+
+    ``data`` (when given) is written alongside as ``results/<name>.json``
+    so downstream tooling can diff numbers without parsing tables.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(to_jsonable(data), indent=2, sort_keys=True) + "\n")
     print("\n" + text)
 
 

@@ -1,0 +1,231 @@
+"""Machine-readable performance harness.
+
+Times a fixed set of simulator workloads and writes the numbers as JSON
+so regressions are caught by a diff, not by eyeballing pytest-benchmark
+output.  Two subcommands:
+
+``run``
+    Execute every harness benchmark and write
+    ``benchmarks/results/bench.json`` (or ``--out``).  Each entry
+    records wall-clock seconds, simulated nanoseconds, events processed
+    and events/second.
+
+``check``
+    Compare a fresh ``--current`` run against the committed
+    ``--baseline`` and exit non-zero if any benchmark's events/second
+    dropped by more than ``--tolerance`` (default 30 %).  CI runs this
+    on every push (the *perf-smoke* job).
+
+The committed ``benchmarks/results/bench.json`` is the baseline; re-run
+``python benchmarks/harness.py run`` on the reference machine and commit
+the result whenever a deliberate perf change lands.
+
+``PRE_OVERHAUL_EVENTS_PER_SEC`` pins the hot-path overhaul's "before"
+number (same machine, same scenario, commit e5fa1f2) so the recorded
+speedup is visible in the JSON artifact itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import units                                   # noqa: E402
+from repro.sim.engine import Simulator                    # noqa: E402
+from repro.tivopc.client import MeasurementClient         # noqa: E402
+from repro.tivopc.server import OffloadedServer, SimpleServer  # noqa: E402
+from repro.tivopc.testbed import Testbed, TestbedConfig   # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+DEFAULT_BENCH_JSON = RESULTS_DIR / "bench.json"
+
+# events/sec of the engine microbenchmark *before* the hot-path overhaul
+# (__slots__, pooled timeouts, lazy cancellation, cache fast path),
+# measured on the reference machine.  The overhaul's acceptance bar is
+# >= 2x this number; `run` records the achieved ratio in bench.json.
+PRE_OVERHAUL_EVENTS_PER_SEC = 51_373
+
+# Simulated seconds per harness scenario: long enough to amortize setup,
+# short enough for a CI smoke job.
+MICRO_SECONDS = 5.0
+
+
+def _timed_testbed_run(server_cls, seconds: float) -> Dict[str, float]:
+    """Run one TiVoPC scenario and report loop throughput."""
+    testbed = Testbed(TestbedConfig(seed=0))
+    testbed.start()
+    MeasurementClient(testbed).start()
+    server_cls(testbed).start()
+    start = time.perf_counter()
+    testbed.run(seconds)
+    wall_s = time.perf_counter() - start
+    events = testbed.sim.events_processed
+    return {
+        "wall_s": wall_s,
+        "sim_ns": testbed.sim.now,
+        "events": events,
+        "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+        "pool_recycled": testbed.sim.pool_recycled,
+    }
+
+
+def bench_engine_micro_tivopc() -> Dict[str, float]:
+    """The overhaul's reference workload: Simple server, 5 sim-seconds.
+
+    CPU-bound on the host models (copies, cache walks, per-packet
+    syscalls), so it exercises the pooled-timeout fast path, lazy
+    cancellation and the cache inner loop together.
+    """
+    metrics = _timed_testbed_run(SimpleServer, MICRO_SECONDS)
+    metrics["pre_overhaul_events_per_sec"] = PRE_OVERHAUL_EVENTS_PER_SEC
+    metrics["speedup_vs_pre_overhaul"] = (
+        metrics["events_per_sec"] / PRE_OVERHAUL_EVENTS_PER_SEC)
+    return metrics
+
+
+def bench_offloaded_tivopc() -> Dict[str, float]:
+    """The offloaded scenario: lighter host, heavier device/bus models."""
+    return _timed_testbed_run(OffloadedServer, MICRO_SECONDS)
+
+
+def bench_timeout_storm() -> Dict[str, float]:
+    """Pure event-loop throughput: 64 processes trading pooled timeouts.
+
+    No hardware models at all — isolates Event allocation, heap churn
+    and Process resumption, the layers the free list targets.
+    """
+    sim = Simulator()
+
+    def ticker(period_ns: int):
+        while True:
+            yield sim.delay(period_ns)
+
+    for i in range(64):
+        sim.spawn(ticker(1_000 + i), name=f"storm-{i}")
+    horizon_ns = int(units.MS) * 10
+    start = time.perf_counter()
+    sim.run(until=horizon_ns)
+    wall_s = time.perf_counter() - start
+    return {
+        "wall_s": wall_s,
+        "sim_ns": sim.now,
+        "events": sim.events_processed,
+        "events_per_sec": sim.events_processed / wall_s if wall_s else 0.0,
+        "pool_recycled": sim.pool_recycled,
+    }
+
+
+BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
+    "engine_micro_tivopc": bench_engine_micro_tivopc,
+    "offloaded_tivopc": bench_offloaded_tivopc,
+    "timeout_storm": bench_timeout_storm,
+}
+
+
+def run_all(names: Optional[Sequence[str]] = None,
+            repeat: int = 3) -> Dict[str, Dict]:
+    """Execute the named benchmarks (all by default); return the report.
+
+    Each benchmark runs ``repeat`` times and the fastest run (highest
+    events/sec) is reported — best-of-N is the standard defence against
+    scheduler noise on shared CI runners.  The simulated work is
+    deterministic, so only the wall-clock fields vary between runs.
+    """
+    selected = list(names) if names else sorted(BENCHMARKS)
+    unknown = [n for n in selected if n not in BENCHMARKS]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {unknown}; "
+                       f"available: {sorted(BENCHMARKS)}")
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1: {repeat}")
+    report: Dict[str, Dict] = {"schema": 1, "benchmarks": {}}
+    for name in selected:
+        runs = [BENCHMARKS[name]() for _ in range(repeat)]
+        report["benchmarks"][name] = max(
+            runs, key=lambda m: m["events_per_sec"])
+    return report
+
+
+def check(baseline: Dict, current: Dict, tolerance: float) -> list:
+    """Regressions: benchmarks whose events/sec dropped past tolerance."""
+    failures = []
+    for name, base in baseline.get("benchmarks", {}).items():
+        base_rate = base.get("events_per_sec")
+        cur = current.get("benchmarks", {}).get(name)
+        if not base_rate or cur is None:
+            continue
+        cur_rate = cur.get("events_per_sec", 0.0)
+        floor = base_rate * (1.0 - tolerance)
+        if cur_rate < floor:
+            failures.append((name, base_rate, cur_rate))
+    return failures
+
+
+def _cmd_run(args) -> int:
+    report = run_all(args.benchmarks or None, repeat=args.repeat)
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    for name, metrics in report["benchmarks"].items():
+        print(f"{name:24s} {metrics['events']:>9d} events  "
+              f"{metrics['wall_s']:7.3f} s  "
+              f"{metrics['events_per_sec']:>12,.0f} ev/s")
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    current = json.loads(pathlib.Path(args.current).read_text())
+    failures = check(baseline, current, args.tolerance)
+    for name, base in baseline.get("benchmarks", {}).items():
+        cur = current.get("benchmarks", {}).get(name, {})
+        base_rate = base.get("events_per_sec", 0.0)
+        cur_rate = cur.get("events_per_sec", 0.0)
+        ratio = cur_rate / base_rate if base_rate else float("nan")
+        print(f"{name:24s} baseline {base_rate:>12,.0f} ev/s  "
+              f"current {cur_rate:>12,.0f} ev/s  ({ratio:.2f}x)")
+    if failures:
+        print(f"\nPERF REGRESSION (tolerance {args.tolerance:.0%}):")
+        for name, base_rate, cur_rate in failures:
+            print(f"  {name}: {base_rate:,.0f} -> {cur_rate:,.0f} ev/s "
+                  f"({cur_rate / base_rate:.2f}x)")
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/harness.py",
+        description="Machine-readable simulator performance harness.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run benchmarks, write JSON")
+    run_p.add_argument("benchmarks", nargs="*", metavar="BENCH",
+                       help=f"subset of {sorted(BENCHMARKS)} (default: all)")
+    run_p.add_argument("--out", default=str(DEFAULT_BENCH_JSON),
+                       help=f"output path (default: {DEFAULT_BENCH_JSON})")
+    run_p.add_argument("--repeat", type=int, default=3,
+                       help="runs per benchmark, best kept (default: 3)")
+    run_p.set_defaults(func=_cmd_run)
+
+    check_p = sub.add_parser("check", help="compare two bench.json files")
+    check_p.add_argument("--baseline", required=True)
+    check_p.add_argument("--current", required=True)
+    check_p.add_argument("--tolerance", type=float, default=0.30,
+                         help="allowed events/sec drop (default: 0.30)")
+    check_p.set_defaults(func=_cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

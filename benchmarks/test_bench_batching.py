@@ -172,8 +172,26 @@ def test_batching_throughput_and_jitter(one_shot):
 
     burst_plain, burst_batched, paced_plain, paced_batched = \
         one_shot(experiment)
+
+    def as_data(run):
+        return {
+            "messages": run.messages,
+            "elapsed_ns": run.elapsed_ns,
+            "msgs_per_sec": run.msgs_per_sec,
+            "bus_transactions": run.bus_transactions,
+            "sg_transfers": run.sg_transfers,
+            "sg_entries": run.sg_entries,
+            "coalesced": run.coalesced,
+            "bypassed": run.bypassed,
+            "flushes": run.flushes,
+            "jitter": run.jitter.stats(),
+        }
+
     publish("batching",
-            render(burst_plain, burst_batched, paced_plain, paced_batched))
+            render(burst_plain, burst_batched, paced_plain, paced_batched),
+            data={run.label: as_data(run)
+                  for run in (burst_plain, burst_batched,
+                              paced_plain, paced_batched)})
 
     # Every chunk arrived, in both modes.
     assert burst_plain.messages == burst_batched.messages == BURST_MESSAGES

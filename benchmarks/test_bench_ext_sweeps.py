@@ -16,10 +16,13 @@ from repro.evaluation.sweeps import (
 
 
 def test_bench_ext_rate_sweep(one_shot):
+    # workers=2 exercises the parallel runner; results are bit-identical
+    # to a sequential run (tests/test_evaluation_parallel.py).
     results = one_shot(run_rate_sweep, (10.0, 5.0, 2.5),
-                       ("simple", "offloaded"), 8.0)
+                       ("simple", "offloaded"), 8.0, workers=2)
     publish("ext_rate_sweep", render_sweep(
-        "Extension: jitter/CPU vs stream rate", results, "interval ms"))
+        "Extension: jitter/CPU vs stream rate", results, "interval ms"),
+        data=results)
 
     simple = results["simple"]
     offloaded = results["offloaded"]
@@ -43,10 +46,11 @@ def test_bench_ext_rate_sweep(one_shot):
 
 def test_bench_ext_chunk_size_sweep(one_shot):
     results = one_shot(run_chunk_size_sweep, (1024, 4096, 16384),
-                       ("simple", "offloaded"), 5.0, 8.0)
+                       ("simple", "offloaded"), 5.0, 8.0, workers=2)
     publish("ext_chunk_sweep", render_sweep(
         "Extension: jitter/CPU vs chunk size at 5 ms", results,
-        "chunk bytes"))
+        "chunk bytes"),
+        data=results)
 
     simple = results["simple"]
     offloaded = results["offloaded"]

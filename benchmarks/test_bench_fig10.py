@@ -15,7 +15,7 @@ from repro.evaluation import render_fig10
 
 def test_bench_fig10(one_shot):
     results = one_shot(server_results)
-    publish("fig10", render_fig10(results))
+    publish("fig10", render_fig10(results), data=results)
 
     idle = results["idle"].l2_miss_rate
     assert idle > 0.05   # the idle system has a real baseline to normalize by

@@ -13,7 +13,7 @@ from repro.evaluation import render_fig9
 
 def test_bench_fig9(one_shot):
     results = one_shot(server_results)
-    publish("fig9", render_fig9(results))
+    publish("fig9", render_fig9(results), data=results)
 
     simple = results["simple"].jitter
     sendfile = results["sendfile"].jitter

@@ -77,7 +77,19 @@ def test_bench_recovery(one_shot):
         one_shot(run_recovery_scenario)
     publish("recovery",
             render_recovery(testbed, client, incident, frames_before_crash,
-                            first_frame_ns))
+                            first_frame_ns),
+            data={
+                "crash_at_ns": CRASH_AT_NS,
+                "died_at_ns": incident.died_at_ns,
+                "recovered_at_ns": incident.recovered_at_ns,
+                "repair_latency_ns": incident.latency_ns,
+                "first_frame_after_crash_ns": first_frame_ns,
+                "victims": list(incident.victims),
+                "frames_before_crash": frames_before_crash,
+                "frames_end_of_run": client.frames_shown,
+                "bytes_recorded": client.bytes_recorded,
+                "rx_dropped_dead": testbed.client.nic.rx_dropped_dead,
+            })
 
     assert incident.recovered
     assert incident.latency_ns > 0

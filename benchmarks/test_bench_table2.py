@@ -11,7 +11,7 @@ from repro.evaluation import PAPER_TABLE2, render_table2
 
 def test_bench_table2(one_shot):
     results = one_shot(server_results)
-    publish("table2", render_table2(results))
+    publish("table2", render_table2(results), data=results)
 
     for scenario, (p_med, p_avg, p_std) in PAPER_TABLE2.items():
         measured = results[scenario].jitter

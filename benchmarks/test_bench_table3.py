@@ -12,7 +12,7 @@ from repro.evaluation import render_table3
 
 def test_bench_table3(one_shot):
     results = one_shot(server_results)
-    publish("table3", render_table3(results))
+    publish("table3", render_table3(results), data=results)
 
     idle = results["idle"].cpu.average
     simple = results["simple"].cpu.average

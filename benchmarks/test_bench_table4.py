@@ -14,8 +14,9 @@ from repro.evaluation import render_client_l2, render_table4
 
 def test_bench_table4(one_shot):
     results = one_shot(client_results)
-    publish("table4", render_table4(results))
-    publish("client_l2", render_client_l2(results))
+    publish("table4", render_table4(results), data=results)
+    publish("client_l2", render_client_l2(results),
+            data={name: results[name].l2_miss_rate for name in results})
 
     idle = results["idle"].cpu.average
     user = results["user-space"].cpu.average

@@ -104,16 +104,29 @@ class Call:
         self.method = method
         self.encoded_args = encoded_args
         self.return_descriptor = return_descriptor
+        # Serialized size: header (GUID + method + id) + arguments.
+        # Cached at construction — the arguments are already encoded and
+        # immutable, and channels/batchers consult the size repeatedly.
+        self.size_bytes = 24 + len(method) + len(encoded_args)
 
     @property
     def one_way(self) -> bool:
         """True when no reply is expected (no return descriptor)."""
         return self.return_descriptor is None
 
-    @property
-    def size_bytes(self) -> int:
-        """Serialized size: header (GUID + method + id) + arguments."""
-        return 24 + len(self.method) + len(self.encoded_args)
+    def reissue(self, sim: Simulator) -> "Call":
+        """A fresh Call reusing this one's encoded argument bytes.
+
+        Return descriptors are one-shot, so a retried two-way call needs
+        a new Call object — but its arguments are already marshaled and
+        must not be encoded again (the caller paid that cost once).  The
+        reissued call gets a new id and, for two-way calls, a fresh
+        descriptor.
+        """
+        descriptor = None if self.one_way else ReturnDescriptor(sim)
+        return Call(interface_guid=self.interface_guid, method=self.method,
+                    encoded_args=self.encoded_args,
+                    return_descriptor=descriptor)
 
     def args(self) -> Tuple[Any, ...]:
         """Deserialize the argument tuple."""

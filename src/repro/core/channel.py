@@ -292,18 +292,29 @@ class CorruptedPayload:
         return f"<CorruptedPayload {self.original!r}>"
 
 
-@dataclass
 class Message:
-    """One payload moving through a channel."""
+    """One payload moving through a channel.
 
-    payload: Any
-    size_bytes: int
-    sent_at_ns: int
-    source: str                    # site name of the writer
+    A plain ``__slots__`` class rather than a dataclass: every packet of
+    every stream allocates one, so construction cost and per-instance
+    footprint are on the simulator's hot path.
+    """
 
-    def __post_init__(self) -> None:
-        if self.size_bytes < 0:
-            raise ChannelError(f"negative message size: {self.size_bytes}")
+    __slots__ = ("payload", "size_bytes", "sent_at_ns", "source")
+
+    def __init__(self, payload: Any, size_bytes: int, sent_at_ns: int,
+                 source: str) -> None:
+        if size_bytes < 0:
+            raise ChannelError(f"negative message size: {size_bytes}")
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.sent_at_ns = sent_at_ns
+        self.source = source           # site name of the writer
+
+    def __repr__(self) -> str:
+        return (f"Message(payload={self.payload!r}, "
+                f"size_bytes={self.size_bytes}, "
+                f"sent_at_ns={self.sent_at_ns}, source={self.source!r})")
 
     @property
     def is_call(self) -> bool:

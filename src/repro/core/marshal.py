@@ -18,7 +18,24 @@ from typing import Any, List, Tuple
 
 from repro.errors import MarshalError
 
-__all__ = ["encode", "decode", "encoded_size"]
+__all__ = ["encode", "decode", "encoded_size", "stats"]
+
+
+class _MarshalStats:
+    """Process-wide encoder counters.
+
+    ``encodes`` counts full serializations.  Retried proxy calls and
+    replayed batch entries must reuse their cached bytes, so tests pin
+    the expected delta of this counter across those paths.
+    """
+
+    __slots__ = ("encodes",)
+
+    def __init__(self) -> None:
+        self.encodes = 0
+
+
+stats = _MarshalStats()
 
 _TAG_NONE = b"N"
 _TAG_TRUE = b"T"
@@ -35,6 +52,7 @@ _MAX_DEPTH = 32
 
 def encode(value: Any) -> bytes:
     """Serialize ``value`` to bytes.  Raises MarshalError on bad types."""
+    stats.encodes += 1
     out: List[bytes] = []
     _encode_into(value, out, depth=0)
     return b"".join(out)

@@ -96,11 +96,18 @@ class Proxy:
                             ) -> Generator[Event, None, Any]:
         sim = self.endpoint.site.sim
         policy = self.policy
+        # Arguments are marshaled exactly once, before the first attempt;
+        # retried attempts need a fresh Call (return descriptors are
+        # one-shot) but reissue() reuses the cached encoded bytes, so a
+        # retry pays only the fixed header cost, not the per-byte encode.
+        call = make_call(sim, self.interface, method_name, args)
         for attempt in range(1, policy.max_attempts + 1):
-            # Fresh Call per attempt: return descriptors are one-shot.
-            call = make_call(sim, self.interface, method_name, args)
-            marshal_ns = _MARSHAL_FIXED_NS + round(
-                len(call.encoded_args) * _MARSHAL_NS_PER_BYTE)
+            if attempt > 1:
+                call = call.reissue(sim)
+                marshal_ns = _MARSHAL_FIXED_NS
+            else:
+                marshal_ns = _MARSHAL_FIXED_NS + round(
+                    len(call.encoded_args) * _MARSHAL_NS_PER_BYTE)
             yield from self.endpoint.site.execute(marshal_ns, context="proxy")
             outcome: dict = {}
 

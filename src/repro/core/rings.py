@@ -16,7 +16,6 @@ unreliable ones drop and count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.errors import ChannelError
@@ -24,13 +23,29 @@ from repro.errors import ChannelError
 __all__ = ["Descriptor", "DescriptorRing"]
 
 
-@dataclass
 class Descriptor:
-    """One ring entry: an address/length pair plus a payload reference."""
+    """One ring entry: an address/length pair plus a payload reference.
 
-    address: int
-    length: int
-    payload: Any = None
+    ``__slots__`` because zero-copy channels mint one per message; the
+    instances are hot-path allocations the simulator churns through.
+    """
+
+    __slots__ = ("address", "length", "payload")
+
+    def __init__(self, address: int, length: int, payload: Any = None) -> None:
+        self.address = address
+        self.length = length
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (f"Descriptor(address={self.address}, length={self.length}, "
+                f"payload={self.payload!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Descriptor):
+            return NotImplemented
+        return (self.address == other.address and self.length == other.length
+                and self.payload == other.payload)
 
 
 class DescriptorRing:

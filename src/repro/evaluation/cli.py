@@ -6,8 +6,10 @@ Usage::
     python -m repro.evaluation all --seconds 25
 
 Artifacts: ``fig1``, ``fig9``, ``fig10``, ``table2``, ``table3``,
-``table4``, ``ilp``, ``power``, or ``all``.  Output is the same
-paper-vs-measured rendering the benchmarks produce.
+``table4``, ``ilp``, ``power``, ``profile``, ``sweeps``, or ``all``.
+Output is the same paper-vs-measured rendering the benchmarks produce;
+``profile`` prints the simulator's hot-loop attribution and ``--workers``
+fans sweep points out over a process pool.
 """
 
 from __future__ import annotations
@@ -56,41 +58,50 @@ def _client_results(seconds: float, seed: int):
     return _client_cache[key]
 
 
-def _artifact_fig1(seconds: float, seed: int) -> str:
+def _artifact_fig1(seconds: float, seed: int,
+                   workers: int = 1) -> str:
     return render_fig1(run_fig1())
 
 
-def _artifact_fig9(seconds: float, seed: int) -> str:
+def _artifact_fig9(seconds: float, seed: int,
+                workers: int = 1) -> str:
     return render_fig9(_server_results(seconds, seed))
 
 
-def _artifact_fig10(seconds: float, seed: int) -> str:
+def _artifact_fig10(seconds: float, seed: int,
+                 workers: int = 1) -> str:
     return render_fig10(_server_results(seconds, seed))
 
 
-def _artifact_table2(seconds: float, seed: int) -> str:
+def _artifact_table2(seconds: float, seed: int,
+                  workers: int = 1) -> str:
     return render_table2(_server_results(seconds, seed))
 
 
-def _artifact_table3(seconds: float, seed: int) -> str:
+def _artifact_table3(seconds: float, seed: int,
+                  workers: int = 1) -> str:
     return render_table3(_server_results(seconds, seed))
 
 
-def _artifact_table4(seconds: float, seed: int) -> str:
+def _artifact_table4(seconds: float, seed: int,
+                  workers: int = 1) -> str:
     results = _client_results(seconds, seed)
     return render_table4(results) + "\n\n" + render_client_l2(results)
 
 
-def _artifact_ilp(seconds: float, seed: int) -> str:
+def _artifact_ilp(seconds: float, seed: int,
+                workers: int = 1) -> str:
     return render_ilp_ablation(run_ilp_vs_greedy(seed=seed or 7))
 
 
-def _artifact_power(seconds: float, seed: int) -> str:
+def _artifact_power(seconds: float, seed: int,
+                 workers: int = 1) -> str:
     return render_power_ablation(
         run_power_comparison(seconds=min(seconds, 20.0), seed=seed))
 
 
-def _artifact_sweeps(seconds: float, seed: int) -> str:
+def _artifact_sweeps(seconds: float, seed: int,
+                     workers: int = 1) -> str:
     from repro.evaluation.sweeps import (
         render_sweep,
         run_chunk_size_sweep,
@@ -99,15 +110,33 @@ def _artifact_sweeps(seconds: float, seed: int) -> str:
     per_point = min(seconds, 10.0)
     rate = render_sweep(
         "Extension: jitter/CPU vs stream rate",
-        run_rate_sweep(seconds=per_point, seed=seed), "interval ms")
+        run_rate_sweep(seconds=per_point, seed=seed, workers=workers),
+        "interval ms")
     chunk = render_sweep(
         "Extension: jitter/CPU vs chunk size at 5 ms",
-        run_chunk_size_sweep(seconds=per_point, seed=seed),
+        run_chunk_size_sweep(seconds=per_point, seed=seed, workers=workers),
         "chunk bytes")
     return rate + "\n\n" + chunk
 
 
-ARTIFACTS: Dict[str, Callable[[float, int], str]] = {
+def _artifact_profile(seconds: float, seed: int,
+                      workers: int = 1) -> str:
+    """Hot-loop attribution for a Simple-server TiVoPC run."""
+    from repro.sim.profile import profiled
+    from repro.tivopc.client import MeasurementClient
+    from repro.tivopc.server import SimpleServer
+    from repro.tivopc.testbed import Testbed, TestbedConfig
+
+    testbed = Testbed(TestbedConfig(seed=seed))
+    testbed.start()
+    MeasurementClient(testbed).start()
+    SimpleServer(testbed).start()
+    with profiled(testbed.sim) as profiler:
+        testbed.run(min(seconds, 5.0))
+    return profiler.render()
+
+
+ARTIFACTS: Dict[str, Callable[..., str]] = {
     "fig1": _artifact_fig1,
     "fig9": _artifact_fig9,
     "fig10": _artifact_fig10,
@@ -116,6 +145,7 @@ ARTIFACTS: Dict[str, Callable[[float, int], str]] = {
     "table4": _artifact_table4,
     "ilp": _artifact_ilp,
     "power": _artifact_power,
+    "profile": _artifact_profile,
     "sweeps": _artifact_sweeps,
 }
 
@@ -133,11 +163,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(default: 25; the paper ran 600)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root RNG seed (default: 0)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for sweep artifacts "
+                             "(default: 1 = sequential; 0 = one per CPU)")
     args = parser.parse_args(argv)
+    workers = None if args.workers == 0 else args.workers
 
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in names:
-        print(ARTIFACTS[name](args.seconds, args.seed))
+        print(ARTIFACTS[name](args.seconds, args.seed, workers=workers))
         print()
     return 0
 

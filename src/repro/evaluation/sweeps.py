@@ -78,34 +78,59 @@ def _measure(scenario: str, stream: StreamConfig, seconds: float,
         packets=client.jitter.packet_count)
 
 
+def _run_sweep(tasks, scenarios, workers) -> Dict[str, List[SweepPoint]]:
+    """Dispatch ``tasks`` (sequentially or across workers) and regroup.
+
+    The task list is built in the same order the old sequential loops
+    visited it and ``run_tasks`` preserves that order, so the grouped
+    results are identical whatever the worker count.
+    """
+    from repro.evaluation.parallel import run_tasks
+    points = run_tasks(tasks, workers=workers)
+    results: Dict[str, List[SweepPoint]] = {s: [] for s in scenarios}
+    for (scenario, _stream, _seconds, _seed), point in zip(tasks, points):
+        results[scenario].append(point)
+    return results
+
+
 def run_rate_sweep(intervals_ms=(10.0, 5.0, 2.5, 1.25),
                    scenarios=("simple", "offloaded"),
-                   seconds: float = 10.0, seed: int = 0
+                   seconds: float = 10.0, seed: int = 0,
+                   workers: int = 1
                    ) -> Dict[str, List[SweepPoint]]:
-    """Jitter/CPU vs stream rate, per scenario."""
-    results: Dict[str, List[SweepPoint]] = {s: [] for s in scenarios}
-    for interval in intervals_ms:
-        stream = StreamConfig(interval_ns=units.ms_to_ns(interval))
-        for scenario in scenarios:
-            results[scenario].append(
-                _measure(scenario, stream, seconds, seed))
-    return results
+    """Jitter/CPU vs stream rate, per scenario.
+
+    ``workers`` > 1 (or ``None`` for one per CPU) fans the points out
+    over a process pool with bit-identical results.
+    """
+    tasks = [
+        (scenario, StreamConfig(interval_ns=units.ms_to_ns(interval)),
+         seconds, seed)
+        for interval in intervals_ms
+        for scenario in scenarios
+    ]
+    return _run_sweep(tasks, scenarios, workers)
 
 
 def run_chunk_size_sweep(chunk_sizes=(512, 1024, 4096, 16384),
                          scenarios=("simple", "offloaded"),
                          interval_ms: float = 5.0,
-                         seconds: float = 10.0, seed: int = 0
+                         seconds: float = 10.0, seed: int = 0,
+                         workers: int = 1
                          ) -> Dict[str, List[SweepPoint]]:
-    """Jitter/CPU vs payload size at a fixed packet rate."""
-    results: Dict[str, List[SweepPoint]] = {s: [] for s in scenarios}
-    for chunk in chunk_sizes:
-        stream = StreamConfig(chunk_bytes=chunk,
-                              interval_ns=units.ms_to_ns(interval_ms))
-        for scenario in scenarios:
-            results[scenario].append(
-                _measure(scenario, stream, seconds, seed))
-    return results
+    """Jitter/CPU vs payload size at a fixed packet rate.
+
+    ``workers`` behaves as in :func:`run_rate_sweep`.
+    """
+    tasks = [
+        (scenario,
+         StreamConfig(chunk_bytes=chunk,
+                      interval_ns=units.ms_to_ns(interval_ms)),
+         seconds, seed)
+        for chunk in chunk_sizes
+        for scenario in scenarios
+    ]
+    return _run_sweep(tasks, scenarios, workers)
 
 
 def render_sweep(title: str, results: Dict[str, List[SweepPoint]],

@@ -118,7 +118,9 @@ class Kernel:
     def _tick_loop(self) -> Generator[Event, None, None]:
         tick = self.config.scheduler.tick_ns
         while True:
-            yield self.sim.timeout(tick)
+            # sim.delay: pooled fast-path timeout (1 kHz per host — the
+            # single hottest timeout site in the whole simulation).
+            yield self.sim.delay(tick)
             self.ticks += 1
             # The tick handler touches a small slice of kernel text/data.
             self.l2.access_range(self.config.kernel_text_base, 512)
@@ -130,7 +132,7 @@ class Kernel:
         work_rng = self.rng.stream("background-work")
         addr_rng = self.rng.stream("background-addr")
         while True:
-            yield self.sim.timeout(cfg.period_ns)
+            yield self.sim.delay(cfg.period_ns)
             work = max(cfg.work_min_ns,
                        round(work_rng.gauss(cfg.work_mean_ns,
                                             cfg.work_sigma_ns)))
@@ -154,7 +156,7 @@ class Kernel:
             raise OSError_(f"negative sleep: {duration_ns}")
         nominal_wake = self.sim.now + duration_ns
         extra = self.wakeup.wakeup_delay_ns(nominal_wake)
-        yield self.sim.timeout(duration_ns + extra)
+        yield self.sim.delay(duration_ns + extra)
         yield from self.cpu.execute(self.config.context_switch_ns,
                                     context="kernel-sched")
 

@@ -67,7 +67,9 @@ class Cpu:
             raise HardwareError(f"negative CPU work: {duration_ns}")
         yield self._resource.request()
         try:
-            yield self.sim.timeout(duration_ns)
+            # Fast-path timeout: single waiter, yielded immediately, so
+            # the engine can recycle it through its free list.
+            yield self.sim.delay(duration_ns)
         finally:
             self._resource.release()
             self.total_busy += duration_ns

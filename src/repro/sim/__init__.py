@@ -9,6 +9,7 @@ Public surface:
 * :class:`~repro.sim.resources.Store`, :class:`~repro.sim.resources.Resource`,
   :class:`~repro.sim.resources.Container`
 * :class:`~repro.sim.rng.RandomStreams`
+* :class:`~repro.sim.profile.SimProfiler` — hot-loop attribution
 """
 
 from repro.sim.engine import (
@@ -19,6 +20,7 @@ from repro.sim.engine import (
     Simulator,
     Timeout,
 )
+from repro.sim.profile import SimProfiler, profiled
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecord, Tracer
@@ -31,9 +33,11 @@ __all__ = [
     "Process",
     "RandomStreams",
     "Resource",
+    "SimProfiler",
     "Simulator",
     "Store",
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "profiled",
 ]

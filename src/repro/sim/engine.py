@@ -17,6 +17,25 @@ dependencies:
   ``seq`` is a monotonically increasing tie-breaker, which makes runs
   fully deterministic.
 
+Hot-path design notes
+---------------------
+Every simulated nanosecond in this repository flows through this loop,
+so three per-event costs are engineered away:
+
+* **Allocation** — every event class carries ``__slots__`` (no instance
+  dicts), and the fast-path timeouts handed out by :meth:`Simulator.delay`
+  are recycled through a free list by the main loop instead of being
+  garbage after one trigger.
+* **Cancellation** — :meth:`Process.interrupt` never scans the abandoned
+  event's callback list (an O(n) ``list.remove`` when n waiters share an
+  event); the stale callback entry simply stays registered and
+  :meth:`Process._resume` drops wakeups from events it is no longer
+  waiting on (*lazy cancellation*).
+* **Observation** — the loop counts processed events
+  (:attr:`Simulator.events_processed`) and exposes a profiler hook
+  (:meth:`Simulator.attach_profiler`) that costs one ``is None`` check
+  per event when disabled.
+
 Example
 -------
 >>> sim = Simulator()
@@ -33,7 +52,7 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import InterruptError, ProcessError, SchedulingError
@@ -69,12 +88,19 @@ class Event:
     callbacks run and they become *processed*.
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "defused")
+
+    # Class flag: instances may be recycled by the main loop after their
+    # callbacks run.  Only _PooledTimeout raises it.
+    _poolable = False
+
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: List[Callable[["Event"], None]] = []
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._state = PENDING
+        self.defused = False
 
     # -- inspection ---------------------------------------------------
 
@@ -141,6 +167,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically after a fixed delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise SchedulingError(f"negative timeout delay: {delay}")
@@ -149,8 +177,45 @@ class Timeout(Event):
         self._trigger(True, value, delay)
 
 
+class _PooledTimeout(Event):
+    """A recyclable fast-path timeout (see :meth:`Simulator.delay`).
+
+    Contract: exactly one waiter, which yields the event immediately and
+    never retains a reference past its trigger.  The main loop resets
+    and recycles instances through the simulator's free list, so holding
+    one after it fires would observe an unrelated later timeout.
+    """
+
+    __slots__ = ("delay",)
+
+    _poolable = True
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any) -> None:
+        # Born triggered; the caller (Simulator.delay) pushes the heap
+        # entry, skipping the generic _trigger state checks.
+        self.sim = sim
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._state = TRIGGERED
+        self.defused = False
+        self.delay = delay
+
+    def _process(self) -> None:
+        # Single-waiter fast path: invoke in place and reuse the
+        # callbacks list instead of swapping in a fresh one.
+        self._state = PROCESSED
+        callbacks = self.callbacks
+        if callbacks:
+            callback = callbacks[0]
+            callbacks.clear()
+            callback(self)
+
+
 class Initialize(Event):
     """Internal event used to start a process at spawn time."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: int = 0) -> None:
         super().__init__(sim)
@@ -163,6 +228,8 @@ class Process(Event):
     (failure).  Other processes can therefore ``yield proc`` to join it.
     """
 
+    __slots__ = ("name", "_generator", "_waiting_on", "_interrupted")
+
     def __init__(self, sim: "Simulator",
                  generator: Generator[Event, Any, Any],
                  name: Optional[str] = None,
@@ -174,6 +241,7 @@ class Process(Event):
         super().__init__(sim)
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
+        self._interrupted = False
         self._waiting_on: Optional[Event] = None
         start = Initialize(sim, delay)
         start.callbacks.append(self._resume)
@@ -186,37 +254,47 @@ class Process(Event):
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`InterruptError` into the process.
 
-        The process must currently be waiting on an event; the pending wait
-        is abandoned (its eventual trigger is ignored by this process).
+        The process must currently be waiting on an event; the pending
+        wait is abandoned *lazily*: the stale callback registration is
+        left in place (no O(n) scan of the waited event's callback
+        list) and :meth:`_resume` discards the wakeup when the
+        abandoned event eventually triggers.
         """
         if not self.alive:
             raise ProcessError(f"cannot interrupt finished process {self.name}")
-        if self._waiting_on is None:
+        if self._waiting_on is None or self._interrupted:
             raise ProcessError(
                 f"cannot interrupt {self.name}: it is not waiting")
-        waited = self._waiting_on
-        try:
-            waited.callbacks.remove(self._resume)
-        except ValueError:
-            pass
-        self._waiting_on = None
+        self._interrupted = True
         wakeup = Event(self.sim)
         wakeup._trigger(False, InterruptError(cause), 0, priority=URGENT)
         wakeup.defused = True  # interrupts are delivered, never escape
         wakeup.callbacks.append(self._resume)
+        self._waiting_on = wakeup
 
     # -- engine plumbing -------------------------------------------------
 
     def _resume(self, event: Event) -> None:
+        if self._state != PENDING:
+            # Stale wakeup arriving after the process already finished.
+            return
+        waiting = self._waiting_on
+        if waiting is not None and event is not waiting:
+            # Lazy cancellation: a wakeup from a wait this process
+            # abandoned (interrupt() re-aimed _waiting_on).  Drop it
+            # without touching the event, so an undelivered failure
+            # still escalates from the main loop.
+            return
         self._waiting_on = None
+        self._interrupted = False
         self.sim._active_process = self
         try:
-            if event.ok:
-                target = self._generator.send(event.value)
+            if event._ok:
+                target = self._generator.send(event._value)
             else:
                 # Mark the failure as handled: it is being delivered.
-                event.defused = True  # type: ignore[attr-defined]
-                target = self._generator.throw(event.value)
+                event.defused = True
+                target = self._generator.throw(event._value)
         except StopIteration as stop:
             self.sim._active_process = None
             self._trigger(True, stop.value, 0)
@@ -234,17 +312,17 @@ class Process(Event):
         if target.sim is not self.sim:
             raise ProcessError(
                 f"process {self.name!r} yielded an event from another simulator")
-        self._waiting_on = target
         if target._state == PROCESSED:
             # Already-processed events resume the waiter immediately (at the
             # current timestamp) rather than deadlocking.
             relay = Event(self.sim)
             relay._trigger(target._ok, target._value, 0, priority=URGENT)
             if not target._ok:
-                relay.defused = True  # type: ignore[attr-defined]
+                relay.defused = True
             relay.callbacks.append(self._resume)
             self._waiting_on = relay
         else:
+            self._waiting_on = target
             target.callbacks.append(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -253,6 +331,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -284,13 +364,15 @@ class AnyOf(_Condition):
     first child to trigger failed, the condition fails with its exception.
     """
 
+    __slots__ = ()
+
     def _check_now(self) -> bool:
         for event in self.events:
             if event.processed:
                 if event._ok:
                     self.succeed(self._collect())
                 else:
-                    event.defused = True  # type: ignore[attr-defined]
+                    event.defused = True
                     self.fail(event._value)
                 return True
         if not self.events:
@@ -304,17 +386,19 @@ class AnyOf(_Condition):
         if event._ok:
             self.succeed(self._collect())
         else:
-            event.defused = True  # type: ignore[attr-defined]
+            event.defused = True
             self.fail(event._value)
 
 
 class AllOf(_Condition):
     """Triggers once all child events have triggered successfully."""
 
+    __slots__ = ()
+
     def _check_now(self) -> bool:
         for event in self.events:
             if event.processed and not event._ok:
-                event.defused = True  # type: ignore[attr-defined]
+                event.defused = True
                 self.fail(event._value)
                 return True
         if self._pending == 0:
@@ -326,7 +410,7 @@ class AllOf(_Condition):
         if self._state != PENDING:
             return
         if not event._ok:
-            event.defused = True  # type: ignore[attr-defined]
+            event.defused = True
             self.fail(event._value)
             return
         self._pending -= 1
@@ -335,15 +419,31 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The discrete-event engine: a clock plus an ordered event queue."""
+    """The discrete-event engine: a clock plus an ordered event queue.
 
-    def __init__(self) -> None:
+    ``event_pool_size`` bounds the free list of recycled fast-path
+    timeouts (see :meth:`delay`); 0 disables pooling entirely, which the
+    determinism tests use to prove pooling never changes a run.
+    """
+
+    DEFAULT_POOL_SIZE = 256
+
+    def __init__(self, event_pool_size: Optional[int] = None) -> None:
         self.now: int = 0
         self._queue: List = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         # Optional structured tracing (see repro.sim.trace.Tracer).
         self.tracer = None
+        # Optional hot-loop profiler (see repro.sim.profile.SimProfiler).
+        self._profiler = None
+        # Free list of recycled _PooledTimeout instances.
+        self._pool_limit = (self.DEFAULT_POOL_SIZE if event_pool_size is None
+                            else max(0, event_pool_size))
+        self._timeout_pool: List[_PooledTimeout] = []
+        # Observability counters (cheap ints, always on).
+        self.events_processed = 0
+        self.pool_recycled = 0     # fast-path timeouts served from the pool
 
     # -- factories -------------------------------------------------------
 
@@ -354,6 +454,35 @@ class Simulator:
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """Create an event that triggers ``delay`` ns from now."""
         return Timeout(self, int(delay), value)
+
+    def delay(self, delay: int, value: Any = None) -> Event:
+        """Fast-path timeout for engine-internal hot loops.
+
+        Semantically identical to :meth:`timeout` but the returned event
+        is drawn from (and recycled back into) a free list by the main
+        loop, skipping the generic trigger machinery.  Callers must
+        honour the single-waiter contract: yield the event immediately
+        and never retain a reference after it fires.  ``cpu.execute``,
+        bus transfers and the kernel tick/daemon loops qualify; anything
+        that stores events (conditions, stores, return descriptors) must
+        use :meth:`timeout`.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay: {delay}")
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+            event._value = value
+            event._ok = True
+            event._state = TRIGGERED
+            event.defused = False
+            event.delay = delay
+            self.pool_recycled += 1
+        else:
+            event = _PooledTimeout(self, delay, value)
+        self._seq += 1
+        heappush(self._queue, (self.now + delay, NORMAL, self._seq, event))
+        return event
 
     def spawn(self, generator: Generator[Event, Any, Any],
               name: Optional[str] = None, delay: int = 0) -> Process:
@@ -368,13 +497,23 @@ class Simulator:
         """Event that triggers when all of ``events`` have succeeded."""
         return AllOf(self, events)
 
+    # -- profiling -------------------------------------------------------
+
+    def attach_profiler(self, profiler) -> None:
+        """Install a :class:`repro.sim.profile.SimProfiler` on the loop."""
+        self._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        """Remove the profiler (the loop reverts to one check per event)."""
+        self._profiler = None
+
     # -- queue -------------------------------------------------------------
 
     def _push(self, event: Event, delay: int, priority: int = NORMAL) -> None:
         if delay < 0:
             raise SchedulingError(f"cannot schedule {delay} ns in the past")
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, priority, self._seq, event))
+        heappush(self._queue, (self.now + delay, priority, self._seq, event))
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next event, or None if the queue is empty."""
@@ -384,15 +523,25 @@ class Simulator:
         """Process exactly one event."""
         if not self._queue:
             raise SchedulingError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(self._queue)
         if when < self.now:
             raise SchedulingError("event queue corrupted: time went backwards")
         self.now = when
-        event._process()
-        # A failure nobody waited on must not pass silently.
-        if event._ok is False and not getattr(event, "defused", False) \
-                and not event.callbacks:
+        self.events_processed += 1
+        profiler = self._profiler
+        if profiler is None:
+            event._process()
+        else:
+            profiler.observe(event)
+        if event._ok is False and not event.defused and not event.callbacks:
+            # A failure nobody waited on must not pass silently.
             raise event._value
+        if event._poolable and len(self._timeout_pool) < self._pool_limit:
+            # Recycle the fast-path timeout for the next delay() call.
+            event._state = PENDING
+            event._value = None
+            event._ok = None
+            self._timeout_pool.append(event)
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains, or until simulated time ``until``.
@@ -403,12 +552,37 @@ class Simulator:
         if until is not None and until < self.now:
             raise SchedulingError(
                 f"run(until={until}) is in the past (now={self.now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                break
-            self.step()
-        if until is not None:
-            self.now = max(self.now, until)
+        # The step() body is inlined here: at ~100 ns of call overhead per
+        # event, the indirection costs ~1 % of a typical run.  Keep this
+        # loop in lockstep with step().
+        queue = self._queue
+        pool = self._timeout_pool
+        pool_limit = self._pool_limit
+        pop = heappop
+        horizon = float("inf") if until is None else until
+        while queue and queue[0][0] <= horizon:
+            when, _prio, _seq, event = pop(queue)
+            if when < self.now:
+                raise SchedulingError(
+                    "event queue corrupted: time went backwards")
+            self.now = when
+            self.events_processed += 1
+            profiler = self._profiler
+            if profiler is None:
+                event._process()
+            else:
+                profiler.observe(event)
+            if event._ok is False and not event.defused and not event.callbacks:
+                # A failure nobody waited on must not pass silently.
+                raise event._value
+            if event._poolable and len(pool) < pool_limit:
+                # Recycle the fast-path timeout for the next delay() call.
+                event._state = PENDING
+                event._value = None
+                event._ok = None
+                pool.append(event)
+        if until is not None and self.now < until:
+            self.now = until
 
     def run_until_event(self, event: Event, limit: Optional[int] = None) -> Any:
         """Run until ``event`` is processed; return its value.

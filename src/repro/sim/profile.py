@@ -1,0 +1,178 @@
+"""Hot-loop profiling for the discrete-event simulator.
+
+A :class:`SimProfiler` attaches to a :class:`repro.sim.engine.Simulator`
+(``sim.attach_profiler(profiler)``) and observes every event the main
+loop processes.  For each *category* — the name of the process the event
+wakes, or the event's class when no process is waiting — it accumulates:
+
+* **event counts** — how many loop iterations the category consumed;
+* **simulated-time attribution** — how far the clock advanced to reach
+  each of the category's events (who "owns" simulated time);
+* **wall-time hotspots** — real seconds spent inside the callbacks the
+  category triggered (who "owns" your CPU while simulating).
+
+When no profiler is attached the loop pays exactly one ``is None`` check
+per event, so the hook is free in production runs.  While attached, the
+profiler *replaces* the loop's dispatch: :meth:`SimProfiler.observe`
+runs the event's callbacks itself, bracketed by wall-clock reads.
+
+>>> from repro.sim import Simulator, SimProfiler
+>>> sim = Simulator()
+>>> profiler = SimProfiler(sim)
+>>> sim.attach_profiler(profiler)
+>>> # ... spawn processes, sim.run(...) ...
+>>> sim.detach_profiler()
+>>> # print(profiler.render())
+"""
+
+from __future__ import annotations
+
+import re
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional
+
+from repro.sim.engine import Process, Simulator
+
+__all__ = ["CategoryStats", "SimProfiler", "profiled"]
+
+# Collapse per-instance suffixes ("worker-3" -> "worker-N") so fleets of
+# identical processes aggregate into one category.
+_INSTANCE_SUFFIX = re.compile(r"-\d+$")
+
+
+class CategoryStats:
+    """Accumulated counters for one event category."""
+
+    __slots__ = ("events", "wall_s", "sim_ns")
+
+    def __init__(self) -> None:
+        self.events = 0        # loop iterations
+        self.wall_s = 0.0      # real seconds inside callbacks
+        self.sim_ns = 0        # simulated ns the clock advanced to get here
+
+    def as_dict(self) -> Dict[str, float]:
+        """The counters as a JSON-serializable dict."""
+        return {"events": self.events, "wall_s": self.wall_s,
+                "sim_ns": self.sim_ns}
+
+
+class SimProfiler:
+    """Per-category event/time attribution for a simulator's main loop."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.categories: Dict[str, CategoryStats] = {}
+        self.total = CategoryStats()
+        self._last_now = sim.now
+        self._attach_wall: Optional[float] = None
+        self.wall_elapsed_s = 0.0
+
+    # -- loop hook (called by Simulator.step) -----------------------------
+
+    def observe(self, event) -> None:
+        """Dispatch ``event`` and charge it to its category.
+
+        Called by the main loop *in place of* ``event._process()``; the
+        event's callbacks run inside the wall-clock bracket so the
+        hotspot numbers include process resumption and everything the
+        resumed generator does before its next yield.
+        """
+        sim = self.sim
+        advanced = sim.now - self._last_now
+        self._last_now = sim.now
+        label = self._label(event)
+        start = perf_counter()
+        event._process()
+        elapsed = perf_counter() - start
+        stats = self.categories.get(label)
+        if stats is None:
+            stats = self.categories[label] = CategoryStats()
+        stats.events += 1
+        stats.wall_s += elapsed
+        stats.sim_ns += advanced
+        total = self.total
+        total.events += 1
+        total.wall_s += elapsed
+        total.sim_ns += advanced
+
+    @staticmethod
+    def _label(event) -> str:
+        """Category for an event: waiting process's name, else event class."""
+        callbacks = event.callbacks
+        if callbacks:
+            owner = getattr(callbacks[0], "__self__", None)
+            if isinstance(owner, Process):
+                return _INSTANCE_SUFFIX.sub("-N", owner.name)
+        return type(event).__name__
+
+    # -- lifecycle helpers -------------------------------------------------
+
+    def mark_attached(self) -> None:
+        """Note the wall clock so :attr:`wall_elapsed_s` covers the run."""
+        self._attach_wall = perf_counter()
+        self._last_now = self.sim.now
+
+    def mark_detached(self) -> None:
+        """Close the wall-clock window opened by :meth:`mark_attached`."""
+        if self._attach_wall is not None:
+            self.wall_elapsed_s += perf_counter() - self._attach_wall
+            self._attach_wall = None
+
+    # -- reporting ---------------------------------------------------------
+
+    def hotspots(self, limit: Optional[int] = None) -> List[tuple]:
+        """``(label, CategoryStats)`` pairs, hottest wall time first."""
+        ranked = sorted(self.categories.items(),
+                        key=lambda kv: kv[1].wall_s, reverse=True)
+        return ranked[:limit] if limit is not None else ranked
+
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable report (JSON-serializable)."""
+        return {
+            "total": self.total.as_dict(),
+            "wall_elapsed_s": self.wall_elapsed_s,
+            "categories": {label: stats.as_dict()
+                           for label, stats in self.hotspots()},
+        }
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable hotspot table, hottest first."""
+        total = self.total
+        lines = [
+            f"simulator profile: {total.events} events, "
+            f"{total.wall_s * 1e3:.1f} ms in callbacks, "
+            f"{total.sim_ns / 1e6:.1f} ms simulated",
+            f"{'category':32s} {'events':>8s} {'ev%':>6s} "
+            f"{'wall ms':>9s} {'wall%':>6s} {'sim ms':>9s} {'sim%':>6s}",
+        ]
+        ev_total = total.events or 1
+        wall_total = total.wall_s or 1.0
+        sim_total = total.sim_ns or 1
+        for label, stats in self.hotspots(limit):
+            lines.append(
+                f"{label:32s} {stats.events:8d} "
+                f"{100.0 * stats.events / ev_total:5.1f}% "
+                f"{stats.wall_s * 1e3:9.2f} "
+                f"{100.0 * stats.wall_s / wall_total:5.1f}% "
+                f"{stats.sim_ns / 1e6:9.2f} "
+                f"{100.0 * stats.sim_ns / sim_total:5.1f}%")
+        return "\n".join(lines)
+
+
+@contextmanager
+def profiled(sim: Simulator) -> Iterator[SimProfiler]:
+    """Attach a fresh profiler for the duration of a ``with`` block.
+
+    >>> with profiled(sim) as profiler:
+    ...     sim.run(until=1_000_000)
+    >>> # print(profiler.render())
+    """
+    profiler = SimProfiler(sim)
+    sim.attach_profiler(profiler)
+    profiler.mark_attached()
+    try:
+        yield profiler
+    finally:
+        profiler.mark_detached()
+        sim.detach_profiler()

@@ -15,7 +15,6 @@ default and costs one attribute check per emit site when disabled.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Deque, Iterable, List, Optional, Set
 
 from repro import units
@@ -23,14 +22,39 @@ from repro import units
 __all__ = ["TraceRecord", "Tracer"]
 
 
-@dataclass(frozen=True)
 class TraceRecord:
-    """One trace event."""
+    """One trace event.
 
-    time_ns: int
-    category: str
-    message: str
-    fields: tuple = ()
+    A ``__slots__`` class (not a dataclass): traced runs mint one per
+    emit, so allocation cost matters.  Instances are treated as
+    immutable; equality compares field values so determinism tests can
+    diff whole trace buffers.
+    """
+
+    __slots__ = ("time_ns", "category", "message", "fields")
+
+    def __init__(self, time_ns: int, category: str, message: str,
+                 fields: tuple = ()) -> None:
+        self.time_ns = time_ns
+        self.category = category
+        self.message = message
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        return (f"TraceRecord(time_ns={self.time_ns}, "
+                f"category={self.category!r}, message={self.message!r}, "
+                f"fields={self.fields!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.time_ns == other.time_ns
+                and self.category == other.category
+                and self.message == other.message
+                and self.fields == other.fields)
+
+    def __hash__(self) -> int:
+        return hash((self.time_ns, self.category, self.message, self.fields))
 
     def render(self) -> str:
         """One-line human-readable form."""

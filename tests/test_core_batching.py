@@ -8,6 +8,7 @@ from repro.errors import (
     DeviceFailedError,
     RetryBudgetExceededError,
 )
+from repro.core import marshal
 from repro.core.call import Call, CallBatch, CallPolicy
 from repro.core.channel import BatchConfig, ChannelConfig
 from repro.core.executive import ChannelBatcher, ChannelExecutive
@@ -254,11 +255,15 @@ def test_failed_batch_retries_as_a_unit(world):
         for seq in range(4):
             yield from source.write(("m", seq), 64)
 
+    before = marshal.stats.encodes
     world.drive(writer())
     assert flaky.vectored_attempts == 2       # one failure + one success
     assert channel.batches_sent == 1          # the batch moved whole
     assert channel.messages_sent == 4
     assert channel.drops == 0
+    # The replayed batch re-sends the entries' cached bytes; nothing is
+    # re-marshalled on the retry path.
+    assert marshal.stats.encodes == before
 
 
 def test_batch_retry_budget_exhaustion_charges_drops(world):

@@ -1,0 +1,130 @@
+"""Determinism guarantees of the hot-path overhaul.
+
+The pooled-timeout free list, lazy cancellation and the inlined run
+loop are pure *mechanical* optimizations: they must never change what a
+seeded run computes.  These tests pin that property by diffing whole
+trace buffers and counters between a default simulator and one with
+pooling disabled (``Simulator(event_pool_size=0)``), and by exercising
+the lazy-cancellation path that replaced ``interrupt()``'s O(n)
+callback scans.
+"""
+
+from repro.errors import InterruptError
+from repro.sim import Simulator, Tracer
+from repro.tivopc.client import MeasurementClient
+from repro.tivopc.server import SimpleServer
+from repro.tivopc.testbed import Testbed, TestbedConfig
+
+# Short but non-trivial: a few thousand events through kernels, NICs,
+# caches and the media pipeline.
+_SIM_SECONDS = 0.5
+
+
+def _traced_tivopc_run(pooling: bool):
+    """One seeded TiVoPC run; returns (trace records, simulator)."""
+    testbed = Testbed(TestbedConfig(seed=7))
+    if not pooling:
+        # The testbed builds its own Simulator; zeroing the pool limit
+        # before any event runs is equivalent to event_pool_size=0.
+        testbed.sim._pool_limit = 0
+    testbed.sim.tracer = Tracer(testbed.sim, capacity=100_000)
+    testbed.start()
+    client = MeasurementClient(testbed)
+    client.start()
+    SimpleServer(testbed).start()
+    testbed.run(_SIM_SECONDS)
+    return list(testbed.sim.tracer.records), testbed.sim, client
+
+
+def test_tivopc_run_identical_with_pooling_disabled():
+    pooled_records, pooled_sim, pooled_client = _traced_tivopc_run(True)
+    plain_records, plain_sim, plain_client = _traced_tivopc_run(False)
+
+    # Pooling actually engaged in the pooled run and not in the other,
+    # so the comparison below is between genuinely different code paths.
+    assert pooled_sim.pool_recycled > 0
+    assert plain_sim.pool_recycled == 0
+
+    assert pooled_sim.events_processed == plain_sim.events_processed
+    assert pooled_sim.now == plain_sim.now
+    assert pooled_client.jitter.arrivals_ns == plain_client.jitter.arrivals_ns
+    # Bit-identical traces: every record, field for field, in order.
+    assert pooled_records == plain_records
+
+
+def test_seeded_tivopc_runs_are_reproducible():
+    first, first_sim, _ = _traced_tivopc_run(True)
+    second, second_sim, _ = _traced_tivopc_run(True)
+    assert first_sim.events_processed == second_sim.events_processed
+    assert first == second
+
+
+def test_interrupt_abandons_large_condition_lazily():
+    """Regression for the O(n) interrupt scan (satellite b).
+
+    A waiter parked on a 1000-event condition is interrupted mid-wait.
+    ``interrupt()`` must not walk the condition's callback list: the
+    stale registration stays behind (asserted below) and ``_resume``
+    discards the eventual wakeup.  The run must still complete with the
+    interrupt delivered once and the process able to wait again.
+    """
+    sim = Simulator()
+    waiters = [sim.timeout(10_000 + i) for i in range(1_000)]
+    condition = sim.all_of(waiters)
+    seen = {}
+
+    def waiter():
+        try:
+            yield condition
+        except InterruptError as exc:
+            seen["cause"] = exc.cause
+            seen["interrupted_at"] = sim.now
+        seen["value"] = yield sim.timeout(5, "after")
+
+    proc = sim.spawn(waiter())
+
+    def interrupter():
+        yield sim.timeout(100)
+        proc.interrupt("abandon")
+        # Lazy cancellation: the abandoned condition still carries the
+        # stale callback — no scan removed it.
+        assert condition.callbacks
+
+    sim.spawn(interrupter())
+    sim.run()
+
+    assert seen["cause"] == "abandon"
+    assert seen["interrupted_at"] == 100
+    assert seen["value"] == "after"
+    # The condition fired long after the waiter left; the stale wakeup
+    # was dropped without reviving the (finished) process.
+    assert condition.triggered
+    assert not proc.alive
+
+
+def test_stale_pooled_timeout_wakeup_is_dropped():
+    """A recycled fast-path timeout must not resume an old waiter.
+
+    The waiter abandons a ``sim.delay`` via interrupt; when the
+    original delay fires (and its event object is recycled), the stale
+    callback must be discarded by the ``_waiting_on`` identity check.
+    """
+    sim = Simulator()
+    order = []
+
+    def sleeper():
+        try:
+            yield sim.delay(1_000)
+        except InterruptError:
+            order.append(("interrupted", sim.now))
+        order.append(("woke", (yield sim.delay(2_000, "late")), sim.now))
+
+    proc = sim.spawn(sleeper())
+
+    def interrupter():
+        yield sim.timeout(10)
+        proc.interrupt()
+
+    sim.spawn(interrupter())
+    sim.run()
+    assert order == [("interrupted", 10), ("woke", "late", 2_010)]
