@@ -25,7 +25,9 @@ The surface groups by concern:
   executive-side :class:`ChannelBatcher`.
 * **Layout optimization** — the Section-5 solvers and objectives.
 * **Fault injection & recovery** — :class:`FaultPlan`,
-  :class:`FaultInjector`, the device watchdog.
+  :class:`FaultInjector`, the device watchdog, periodic checkpointing
+  (:class:`CheckpointConfig`) and the seeded chaos soak
+  (:func:`run_chaos_scenario`, :func:`soak`).
 * **TiVoPC case study** — testbed, servers, clients and metrics.
 """
 
@@ -109,6 +111,7 @@ from repro.core.channel import (
     Endpoint,
     Message,
     Reliability,
+    RetransmitConfig,
     SyncMode,
 )
 from repro.core.executive import (
@@ -135,8 +138,19 @@ from repro.core.layout import (
 )
 
 # -- fault injection and recovery ------------------------------------------------------
+from repro.core.checkpoint import (
+    CheckpointConfig,
+    CheckpointService,
+    CheckpointStore,
+)
 from repro.core.watchdog import DeviceWatchdog, WatchdogConfig
 from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.faults.chaos import (
+    ChaosProfile,
+    ChaosReport,
+    run_chaos_scenario,
+    soak,
+)
 
 # -- virtualization --------------------------------------------------------------------
 from repro.virt import OffloadedVmm, SoftwareVmm
@@ -242,6 +256,7 @@ __all__ = [
     "Endpoint",
     "Message",
     "Reliability",
+    "RetransmitConfig",
     "SyncMode",
     # layout optimization
     "BranchAndBoundSolver",
@@ -257,12 +272,19 @@ __all__ = [
     "ScipyMilpSolver",
     "TrafficMatrix",
     # fault injection and recovery
+    "ChaosProfile",
+    "ChaosReport",
+    "CheckpointConfig",
+    "CheckpointService",
+    "CheckpointStore",
     "DeviceWatchdog",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
     "WatchdogConfig",
+    "run_chaos_scenario",
+    "soak",
     # virtualization
     "OffloadedVmm",
     "SoftwareVmm",

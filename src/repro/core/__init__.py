@@ -39,7 +39,16 @@ from repro.core.channel import (
     Endpoint,
     Message,
     Reliability,
+    RetransmitConfig,
+    SequencedMessage,
     SyncMode,
+)
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointService,
+    CheckpointStore,
+    checkpointable,
 )
 from repro.core.deployment import (
     DeploymentPipeline,
@@ -113,6 +122,10 @@ __all__ = [
     "ChannelExecutiveOffcode",
     "ChannelKind",
     "ChannelStats",
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointService",
+    "CheckpointStore",
     "CleanupReport",
     "CorruptedPayload",
     "CostMetric",
@@ -163,12 +176,15 @@ __all__ = [
     "Reliability",
     "ResourceNode",
     "ResourceTree",
+    "RetransmitConfig",
     "RetryBudgetExceededError",
     "ReturnDescriptor",
     "RuntimeOffcode",
+    "SequencedMessage",
     "SoftwareRequirements",
     "SyncMode",
     "WatchdogConfig",
+    "checkpointable",
     "compile_for_target",
     "guid_from_name",
     "make_call",

@@ -19,7 +19,8 @@ import random
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
-from repro.errors import ChannelError, InterfaceError, MarshalError
+from repro.errors import (ChannelError, InterfaceError, MarshalError,
+                          OffloadTimeoutError)
 from repro.core.guid import Guid
 from repro.core.interfaces import InterfaceSpec, MethodSpec
 from repro.core import marshal
@@ -200,11 +201,26 @@ class CallBatch:
         return entry
 
     def drop_expired(self, now_ns: int) -> List[BatchEntry]:
-        """Remove and return entries whose deadline has passed."""
+        """Remove and return entries whose deadline has passed.
+
+        A dropped entry's waiter (a Call carrying an undelivered return
+        descriptor — defensive: :meth:`add` rejects two-way Calls, but a
+        descriptor-bearing payload must never be silently discarded)
+        gets a deadline exception so no caller hangs forever on a
+        message that quietly left the batch.
+        """
         expired = [e for e in self.entries if e.expired(now_ns)]
         if expired:
             self.entries = [e for e in self.entries
                             if not e.expired(now_ns)]
+            for entry in expired:
+                descriptor = getattr(entry.payload, "return_descriptor",
+                                     None)
+                if descriptor is not None and not descriptor.delivered:
+                    descriptor.deliver_error(OffloadTimeoutError(
+                        f"batched call expired after waiting "
+                        f"{now_ns - entry.enqueued_at_ns} ns "
+                        "(deadline passed before flush)"))
         return expired
 
     @property

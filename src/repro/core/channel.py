@@ -38,7 +38,8 @@ from repro.sim.trace import emit as trace_emit
 
 __all__ = ["ChannelKind", "Reliability", "SyncMode", "Buffering",
            "BatchConfig", "ChannelConfig", "ChannelStats",
-           "CorruptedPayload", "Message", "Endpoint", "Channel"]
+           "CorruptedPayload", "Message", "SequencedMessage",
+           "RetransmitConfig", "Endpoint", "Channel"]
 
 
 class ChannelKind(enum.Enum):
@@ -198,7 +199,7 @@ class ChannelConfig:
         return self._evolve(reliability=Reliability.RELIABLE)
 
     def unreliable(self) -> "ChannelConfig":
-        """Drop-on-full semantics (and the only home for fault filters)."""
+        """Drop-on-full semantics; injected faults surface to receivers."""
         return self._evolve(reliability=Reliability.UNRELIABLE)
 
     def sequential(self) -> "ChannelConfig":
@@ -258,13 +259,55 @@ class ChannelConfig:
 
 
 @dataclass(frozen=True)
+class RetransmitConfig:
+    """Ack/retransmit protocol knobs for a noise-armed reliable channel.
+
+    A reliable channel under fault injection earns its delivery guarantee
+    with a sliding-window protocol: at most ``window`` messages sit in
+    the bounded retransmit buffer (further writers block — backpressure),
+    a lost or corrupted frame is retransmitted after ``timeout_ns``
+    growing by ``backoff_factor`` per attempt up to ``max_timeout_ns``,
+    and after ``max_attempts`` wire attempts the channel declares the
+    medium unusable (:class:`~repro.errors.ChannelError`).  Cumulative
+    acks ride reverse traffic and cost ``ack_bytes`` on the wire; they
+    traverse the same lossy medium, so a lost ack produces a duplicate
+    data frame the receiver suppresses (``dup_dropped``).
+    """
+
+    timeout_ns: int = 200_000
+    backoff_factor: float = 2.0
+    max_timeout_ns: int = 5_000_000
+    max_attempts: int = 64
+    window: int = 16
+    ack_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.timeout_ns <= 0:
+            raise ChannelError(
+                f"retransmit timeout_ns must be positive: {self.timeout_ns}")
+        if self.max_attempts <= 0:
+            raise ChannelError(
+                f"retransmit max_attempts must be positive: "
+                f"{self.max_attempts}")
+        if self.window <= 0:
+            raise ChannelError(
+                f"retransmit window must be positive: {self.window}")
+
+
+@dataclass(frozen=True)
 class ChannelStats:
     """Aggregate delivery accounting for one channel.
 
     Snapshot produced by :meth:`Channel.stats`; chaos tests use it to
-    assert loss bookkeeping (``sent == delivered + dropped`` on a quiet
-    channel, ``corrupted`` counts messages delivered with a
-    :class:`CorruptedPayload` wrapper).
+    assert loss bookkeeping.  On unreliable channels ``sent ==
+    delivered + dropped`` and ``corrupted`` messages are *delivered*
+    (wrapped in :class:`CorruptedPayload` — a checksum failure surfaced
+    to the receiver).  On a noise-armed reliable channel the identity
+    counts wire attempts: every lost, mangled or duplicate frame lands
+    in ``dropped`` (``corrupted`` and ``dup_dropped`` are subsets of it)
+    and ``delivered`` counts each unique message exactly once, so
+    ``sent == delivered + dropped`` still holds while ``retransmits``
+    and ``dup_dropped`` expose the protocol work that earned it.
     """
 
     channel_id: int
@@ -275,6 +318,8 @@ class ChannelStats:
     corrupted: int
     bytes: int
     batches: int = 0
+    retransmits: int = 0
+    dup_dropped: int = 0
 
 
 class CorruptedPayload:
@@ -320,6 +365,43 @@ class Message:
     def is_call(self) -> bool:
         """True when the payload is a :class:`Call` (dispatched, not queued)."""
         return isinstance(self.payload, Call)
+
+
+class SequencedMessage(Message):
+    """A message carrying the ack/retransmit protocol's sequence number.
+
+    Only noise-armed reliable channels stamp sequence numbers; receivers
+    may ignore the extra attribute (it subclasses :class:`Message`), but
+    duplicate suppression and cumulative acks key on it.
+    """
+
+    __slots__ = ("seq",)
+
+    def __init__(self, payload: Any, size_bytes: int, sent_at_ns: int,
+                 source: str, seq: int) -> None:
+        super().__init__(payload, size_bytes, sent_at_ns, source)
+        self.seq = seq
+
+
+class _ReliableState:
+    """Protocol state for one noise-armed reliable channel.
+
+    The simulation keeps sender and receiver bookkeeping in one place:
+    ``next_seq``/``unacked``/``window`` are the sender's sliding window
+    and bounded retransmit buffer, ``contiguous``/``seen`` are the
+    receiver's cumulative-ack frontier and out-of-order accept set.  A
+    multicast channel shares one state because the fault filter draws a
+    single verdict per wire attempt — all destinations share fate.
+    """
+
+    def __init__(self, channel: "Channel", config: RetransmitConfig) -> None:
+        self.config = config
+        self.next_seq = 1
+        self.window = Resource(channel.creator_endpoint.site.sim,
+                               capacity=config.window)
+        self.unacked: dict = {}     # seq -> (payload, size_bytes)
+        self.contiguous = 0         # highest in-order seq accepted
+        self.seen: set = set()      # accepted seqs above the frontier
 
 
 class Endpoint:
@@ -448,6 +530,13 @@ class Channel:
         # Adaptive coalescer, attached by the Channel Executive when the
         # config carries a BatchConfig (None = classic per-message path).
         self.batcher = None
+        self.retransmits = 0
+        self.dup_dropped = 0
+        # Ack/retransmit knobs; may be replaced before a filter is armed.
+        self.retransmit_config = RetransmitConfig()
+        # Protocol state, armed lazily when a fault filter lands on a
+        # RELIABLE channel (None = guaranteed medium, fast path).
+        self._rel: Optional[_ReliableState] = None
         # Fault-injection hook: payload -> "drop" | "corrupt" | None.
         self._fault_filter: Optional[Callable[[Message], Optional[str]]] = None
         self._sequencer: Optional[Resource] = (
@@ -498,18 +587,34 @@ class Channel:
         """Install (or clear) a message-fault filter.
 
         The filter sees each message after the transfer cost is paid and
-        returns ``"drop"`` (the message vanishes), ``"corrupt"`` (it is
-        delivered wrapped in :class:`CorruptedPayload`) or ``None``
-        (untouched).  Only ``UNRELIABLE`` channels accept one — reliable
-        channels promise delivery, so injecting loss there would model a
-        contract violation rather than a lossy medium.
+        returns ``"drop"`` (the message vanishes), ``"corrupt"`` (its
+        payload is mangled in flight) or ``None`` (untouched).  On an
+        ``UNRELIABLE`` channel the fault surfaces to the receiver: drops
+        vanish, corrupt payloads arrive wrapped in
+        :class:`CorruptedPayload`.  On a ``RELIABLE`` channel the filter
+        arms the ack/retransmit protocol instead — faults cost wire
+        attempts and latency, never delivery: exactly-once semantics are
+        *earned* with sequence numbers, cumulative acks, timeout
+        retransmission and duplicate suppression (see
+        :class:`RetransmitConfig`).
         """
-        if (fault_filter is not None
-                and self.config.reliability is not Reliability.UNRELIABLE):
-            raise ChannelError(
-                f"channel #{self.channel_id} is RELIABLE; fault filters "
-                "apply only to UNRELIABLE channels")
+        if (fault_filter is not None and self._rel is None
+                and self.config.reliability is Reliability.RELIABLE):
+            self._rel = _ReliableState(self, self.retransmit_config)
         self._fault_filter = fault_filter
+
+    def unacked_messages(self) -> List[tuple]:
+        """Pending ``(payload, size_bytes)`` pairs, in sequence order.
+
+        Messages that entered the retransmit buffer but were never
+        cumulatively acked — after a device failure severs the channel,
+        recovery replays these on the survivor's replacement channel so
+        an in-flight frame is not lost with the wire.  Empty unless the
+        ack/retransmit protocol is armed.
+        """
+        if self._rel is None:
+            return []
+        return [self._rel.unacked[seq] for seq in sorted(self._rel.unacked)]
 
     def stats(self) -> ChannelStats:
         """Current :class:`ChannelStats` snapshot for this channel."""
@@ -517,7 +622,8 @@ class Channel:
             channel_id=self.channel_id, label=self.config.label,
             sent=self.messages_sent, delivered=self.delivered,
             dropped=self.drops, corrupted=self.corrupted,
-            bytes=self.bytes_sent, batches=self.batches_sent)
+            bytes=self.bytes_sent, batches=self.batches_sent,
+            retransmits=self.retransmits, dup_dropped=self.dup_dropped)
 
     def _check_open(self) -> None:
         if self.closed:
@@ -532,6 +638,9 @@ class Channel:
         if not self.connected:
             raise ChannelError(
                 f"channel #{self.channel_id} has no remote endpoint")
+        if self._rel is not None and self._fault_filter is not None:
+            yield from self._reliable_write_from(source, payload, size_bytes)
+            return
         destinations = [e for e in self.endpoints if e is not source]
         message = Message(payload=payload, size_bytes=size_bytes,
                           sent_at_ns=source.site.sim.now,
@@ -578,6 +687,199 @@ class Channel:
             else:
                 self.delivered += 1
 
+    # -- the earned-reliability path -----------------------------------------------------
+
+    def _reliable_backoff_ns(self, attempt: int) -> int:
+        """Capped exponential retransmit delay after ``attempt`` failures."""
+        cfg = self._rel.config
+        delay = cfg.timeout_ns * (cfg.backoff_factor ** max(0, attempt - 1))
+        return max(1, min(int(delay), cfg.max_timeout_ns))
+
+    def _reliable_write_from(self, source: Endpoint, payload: Any,
+                             size_bytes: int
+                             ) -> Generator[Event, None, None]:
+        """One write under the ack/retransmit protocol.
+
+        Acquires a slot in the bounded retransmit buffer (blocking when
+        the window is full — backpressure), stamps a sequence number,
+        and runs the exchange until the message is cumulatively acked.
+        The sequencer, when present, is held across the *whole* exchange
+        so retransmissions cannot interleave with younger messages and
+        FIFO order survives loss.
+        """
+        rel = self._rel
+        yield rel.window.request()
+        try:
+            if self._sequencer is not None:
+                yield self._sequencer.request()
+            try:
+                seq = rel.next_seq
+                rel.next_seq += 1
+                rel.unacked[seq] = (payload, size_bytes)
+                message = SequencedMessage(
+                    payload=payload, size_bytes=size_bytes,
+                    sent_at_ns=source.site.sim.now,
+                    source=source.site.name, seq=seq)
+                destinations = [e for e in self.endpoints if e is not source]
+                yield from self._reliable_exchange(
+                    source, destinations, message, seq, size_bytes,
+                    transfer_first=True)
+                source.messages_out += 1
+            finally:
+                if self._sequencer is not None:
+                    self._sequencer.release()
+        finally:
+            rel.window.release()
+
+    def _reliable_exchange(self, source: Endpoint,
+                           destinations: List[Endpoint],
+                           message: Message, seq: int, size_bytes: int,
+                           transfer_first: bool
+                           ) -> Generator[Event, None, None]:
+        """Transmit ``message`` until it is delivered *and* acked.
+
+        Each wire attempt pays the provider's transfer cost, then the
+        fault filter rules on the frame: a drop vanishes, a corrupt
+        frame fails the receiver's checksum — either way the sender
+        backs off and retransmits.  An intact duplicate (a retransmit
+        whose original actually arrived but whose ack was lost) is
+        suppressed and re-acked.  The cumulative ack itself rides a
+        reverse transfer through the same filter, so ack loss is the
+        natural source of duplicates.  ``transfer_first=False`` lets a
+        vectored batch reuse its single scatter-gather transfer as every
+        entry's first attempt.
+        """
+        rel = self._rel
+        cfg = rel.config
+        sim = source.site.sim
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt > cfg.max_attempts:
+                raise ChannelError(
+                    f"channel #{self.channel_id} gave up on seq {seq} "
+                    f"after {cfg.max_attempts} attempts")
+            if attempt > 1 or transfer_first:
+                self._check_open()
+                yield from self.provider.transfer(self, source, destinations,
+                                                  size_bytes)
+                self.messages_sent += 1
+                self.bytes_sent += size_bytes
+                if attempt > 1:
+                    self.retransmits += 1
+                    trace_emit(sim, "channel",
+                               f"#{self.channel_id} retransmit seq={seq} "
+                               f"attempt={attempt}",
+                               channel=self.channel_id,
+                               label=self.config.label)
+            verdict = (self._fault_filter(message)
+                       if self._fault_filter is not None else None)
+            if verdict == "drop":
+                self.drops += 1
+                trace_emit(sim, "fault",
+                           f"#{self.channel_id} seq={seq} dropped in "
+                           "flight; will retransmit",
+                           channel=self.channel_id, label=self.config.label)
+                yield sim.timeout(self._reliable_backoff_ns(attempt))
+                continue
+            if verdict == "corrupt":
+                # The receiver's checksum rejects the mangled frame: it
+                # never surfaces; to the protocol this is another loss.
+                self.corrupted += 1
+                self.drops += 1
+                trace_emit(sim, "fault",
+                           f"#{self.channel_id} seq={seq} corrupted in "
+                           "flight; checksum reject, will retransmit",
+                           channel=self.channel_id, label=self.config.label)
+                yield sim.timeout(self._reliable_backoff_ns(attempt))
+                continue
+            # The frame arrived intact.
+            if seq <= rel.contiguous or seq in rel.seen:
+                self.dup_dropped += 1
+                self.drops += 1
+                trace_emit(sim, "channel",
+                           f"#{self.channel_id} duplicate seq={seq} "
+                           "suppressed; re-acking",
+                           channel=self.channel_id, label=self.config.label)
+            else:
+                rel.seen.add(seq)
+                while (rel.contiguous + 1) in rel.seen:
+                    rel.contiguous += 1
+                    rel.seen.discard(rel.contiguous)
+                for destination in destinations:
+                    yield from destination._deliver(message)
+                self.delivered += 1
+            acked = yield from self._reverse_ack(source, destinations)
+            if acked:
+                for done in [s for s in rel.unacked
+                             if s <= rel.contiguous or s == seq]:
+                    del rel.unacked[done]
+                return
+            yield sim.timeout(self._reliable_backoff_ns(attempt))
+
+    def _reverse_ack(self, source: Endpoint, destinations: List[Endpoint]
+                     ) -> Generator[Event, None, bool]:
+        """Ship the cumulative ack back to the sender; False if it is lost."""
+        rel = self._rel
+        sim = source.site.sim
+        acker = destinations[0]
+        yield from self.provider.transfer(self, acker, [source],
+                                          rel.config.ack_bytes)
+        ack = Message(payload=("ack", rel.contiguous),
+                      size_bytes=rel.config.ack_bytes,
+                      sent_at_ns=sim.now, source=acker.site.name)
+        verdict = (self._fault_filter(ack)
+                   if self._fault_filter is not None else None)
+        if verdict in ("drop", "corrupt"):
+            trace_emit(sim, "fault",
+                       f"#{self.channel_id} ack (cum={rel.contiguous}) "
+                       "lost in flight",
+                       channel=self.channel_id, label=self.config.label)
+            return False
+        return True
+
+    def _send_vectored_reliable(self, source: Endpoint, batch: CallBatch,
+                                destinations: List[Endpoint]
+                                ) -> Generator[Event, None, None]:
+        """Vectored dispatch under the ack/retransmit protocol.
+
+        The batch still moves as one scatter-gather transfer — that
+        transaction is every entry's first wire attempt — but each entry
+        gets its own sequence number and runs the exchange to completion
+        (duplicate-suppressed retransmits are per-entry singles), so a
+        lost frame inside a batch is recovered without resending its
+        siblings.
+        """
+        rel = self._rel
+        if self._sequencer is not None:
+            yield self._sequencer.request()
+        try:
+            yield from self.provider.transfer_vectored(
+                self, source, destinations, batch)
+            source.messages_out += batch.count
+            self.messages_sent += batch.count
+            self.batches_sent += 1
+            self.bytes_sent += batch.size_bytes
+            trace_emit(source.site.sim, "channel",
+                       f"#{self.channel_id} {source.site.name} => "
+                       f"{','.join(d.site.name for d in destinations)} "
+                       f"[reliable batch n={batch.count}]",
+                       bytes=batch.size_bytes, batch=batch.count)
+            for entry in batch:
+                seq = rel.next_seq
+                rel.next_seq += 1
+                rel.unacked[seq] = (entry.payload, entry.size_bytes)
+                message = SequencedMessage(
+                    payload=entry.payload, size_bytes=entry.size_bytes,
+                    sent_at_ns=entry.enqueued_at_ns,
+                    source=source.site.name, seq=seq)
+                yield from self._reliable_exchange(
+                    source, destinations, message, seq, entry.size_bytes,
+                    transfer_first=False)
+        finally:
+            if self._sequencer is not None:
+                self._sequencer.release()
+
     def send_vectored(self, source: Endpoint, batch: CallBatch
                       ) -> Generator[Event, None, None]:
         """Move a whole :class:`CallBatch` as one vectored transaction.
@@ -595,6 +897,10 @@ class Channel:
             raise ChannelError(
                 f"channel #{self.channel_id} has no remote endpoint")
         destinations = [e for e in self.endpoints if e is not source]
+        if self._rel is not None and self._fault_filter is not None:
+            yield from self._send_vectored_reliable(source, batch,
+                                                    destinations)
+            return
         if self._sequencer is not None:
             yield self._sequencer.request()
         try:

@@ -114,14 +114,22 @@ class DeploymentPipeline:
         start_ns = sim.now
 
         # Phase 2: resolve the layout, respecting existing placements.
-        pinned = {
-            d.bindname: runtime.locate(d.bindname).location
-            for d in documents if runtime.locate(d.bindname) is not None
-        }
         # Devices the watchdog has declared dead are excluded from the
         # candidate set; a non-empty exclusion also marks the solve as
         # degraded (recovery may drop mandatory co-location constraints).
         exclude = sorted(getattr(runtime, "failed_devices", None) or ())
+        # A pin on an excluded device would make every layout infeasible.
+        # That happens during overlapping recoveries: incident #2's solve
+        # sees survivors of incident #1 still registered on a device that
+        # just died.  Those instances are about to be torn down by their
+        # own incident, so drop the pin and let the solver relocate them.
+        excluded_devices = set(exclude)
+        pinned = {
+            d.bindname: runtime.locate(d.bindname).location
+            for d in documents if runtime.locate(d.bindname) is not None
+        }
+        pinned = {bindname: location for bindname, location in pinned.items()
+                  if location not in excluded_devices}
         layout = runtime.resolver.resolve(documents, objective=objective,
                                           pinned=pinned, exclude=exclude,
                                           degraded=bool(exclude))

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Type, Union
 
 from repro.errors import DepotError
+from repro.core.checkpoint import CheckpointStore
 from repro.core.guid import Guid
 from repro.core.offcode import Offcode
 from repro.hw.device import DeviceClass
@@ -44,6 +45,11 @@ class OffcodeDepot:
 
     def __init__(self) -> None:
         self._entries: Dict[Guid, List[DepotEntry]] = {}
+        # Host-side checkpoint store: the depot is "the local library
+        # used for storing the actual instances of the Offcodes"
+        # (Section 3.4) — shipped state snapshots live next to the
+        # builds they restore into.
+        self.checkpoints = CheckpointStore()
 
     def register(self, guid: Guid,
                  implementation: Union[Type[Offcode], Callable],

@@ -182,9 +182,12 @@ class ChannelBatcher:
         if self._pending.get(key):
             try:
                 yield from self._flush(key, "deadline")
-            except RetryBudgetExceededError:
+            except (RetryBudgetExceededError, ChannelError):
                 # Nobody awaits a background flush; the lost entries
                 # were already charged to the channel's drop counter.
+                # ChannelError covers a channel closed (or a noise-armed
+                # reliable channel giving up) under the watch's feet —
+                # an unwatched raise here would crash the simulator.
                 pass
 
     def _flush(self, key: int, cause: str

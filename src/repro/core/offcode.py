@@ -213,6 +213,32 @@ class Offcode:
         """
         self.management_events.append(event)
 
+    # -- checkpoint/restore contract ----------------------------------------------------
+
+    def snapshot(self) -> Optional[Any]:
+        """Serialize recovery-relevant state, or ``None`` to opt out.
+
+        Subclasses that want failure transparency return a
+        marshal-encodable value (dict/list/scalars).  The checkpoint
+        service periodically ships it over the OOB channel to the
+        host-side depot; after a device failure, recovery calls
+        :meth:`restore` with the last shipped value on the replacement
+        instance.  The base class opts out — pseudo Offcodes and
+        stateless components cost nothing.
+        """
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Adopt a previously snapshotted state on a fresh instance.
+
+        Called by recovery after redeployment, before recovery hooks
+        rewire data channels.  A subclass that overrides
+        :meth:`snapshot` must override this too.
+        """
+        raise OffcodeError(
+            f"{self.bindname} snapshots state but does not implement "
+            "restore()")
+
     # -- call dispatch ------------------------------------------------------------------
 
     def dispatch(self, call: Call) -> Generator[Event, None, None]:

@@ -32,6 +32,8 @@ from typing import (Callable, Dict, Generator, Iterable, List, Optional,
 
 from repro.errors import DeploymentError, HydraError, OffcodeError
 from repro.core.channel import Channel, ChannelConfig, ChannelStats
+from repro.core.checkpoint import (CheckpointConfig, CheckpointService,
+                                   checkpointable)
 from repro.core.deployment import DeploymentPipeline, DeploymentReport
 from repro.core.depot import OffcodeDepot
 from repro.core.devruntime import DeviceRuntime
@@ -58,6 +60,7 @@ from repro.core.sites import ExecutionSite, HostSite
 from repro.core.watchdog import DeviceWatchdog, WatchdogConfig
 from repro.hw.machine import Machine
 from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource as SimResource
 from repro.sim.trace import emit as trace_emit
 
 __all__ = ["HydraRuntime", "DeploymentSpec", "DeploymentResult",
@@ -96,7 +99,14 @@ class RecoveryIncident:
     """One device death handled by :meth:`HydraRuntime.on_device_failure`.
 
     ``latency_ns`` — declared-dead to recovery-complete — is the metric
-    the chaos scenario and the recovery benchmark track.
+    the chaos scenario and the recovery benchmark track.  A recovery
+    that *fails* stamps ``failed_at_ns``/``error`` instead of
+    ``recovered_at_ns``, so callers and the chaos invariant checker see
+    partial recoveries rather than incidents that silently never
+    complete.  ``restored`` lists victims whose last checkpoint was
+    restored into the replacement instance; ``replayed`` counts unacked
+    channel messages re-sent on replacement channels; ``hook_errors``
+    collects recovery-hook exceptions (non-fatal, but visible).
     """
 
     device: str
@@ -105,12 +115,21 @@ class RecoveryIncident:
     reports: List[CleanupReport] = field(default_factory=list)
     placement: Dict[str, str] = field(default_factory=dict)
     recovered_at_ns: Optional[int] = None
+    failed_at_ns: Optional[int] = None
     error: Optional[str] = None
+    restored: List[str] = field(default_factory=list)
+    replayed: int = 0
+    hook_errors: List[str] = field(default_factory=list)
 
     @property
     def recovered(self) -> bool:
         """True once the victims were re-deployed (or none existed)."""
         return self.recovered_at_ns is not None
+
+    @property
+    def failed(self) -> bool:
+        """True when recovery gave up (re-deploy raised)."""
+        return self.failed_at_ns is not None
 
     @property
     def latency_ns(self) -> Optional[int]:
@@ -218,8 +237,13 @@ class HydraRuntime:
         # to rewire data channels after a host-fallback redeploy.
         self.failed_devices: Set[str] = set()
         self.watchdog: Optional[DeviceWatchdog] = None
+        self.checkpointer: Optional[CheckpointService] = None
         self.incidents: List[RecoveryIncident] = []
         self._recovery_hooks: List[Callable] = []
+        # Overlapping device deaths serialize their re-deploys: a solve
+        # mutating the registry while another incident's solve runs
+        # would hand out torn layouts.
+        self._recovery_lock = SimResource(self.sim, capacity=1)
 
         # One device runtime per programmable device, each with its own
         # DMA channel provider ("an extended driver for each device").
@@ -280,6 +304,10 @@ class HydraRuntime:
     def registered_bindnames(self) -> Iterable[str]:
         """Bind names registered on the host side."""
         return self._registry.keys()
+
+    def deployed_offcodes(self) -> List[Offcode]:
+        """Every registered Offcode instance (pseudo and user)."""
+        return list(self._registry.values())
 
     def get_offcode(self, bindname: str) -> Offcode:
         """The ``GetOffcode`` API: pseudo and user Offcodes by name."""
@@ -453,6 +481,15 @@ class HydraRuntime:
         self.watchdog.start()
         return self.watchdog
 
+    def start_checkpoints(self, config: Optional[CheckpointConfig] = None
+                          ) -> CheckpointService:
+        """Arm the periodic checkpoint service (see repro.core.checkpoint)."""
+        if self.checkpointer is not None:
+            raise HydraError("checkpoint service already started")
+        self.checkpointer = CheckpointService(self, config)
+        self.checkpointer.start()
+        return self.checkpointer
+
     def add_recovery_hook(self, hook: Callable) -> None:
         """Register ``hook(device_name, incident)`` — a generator run
         after victims are re-deployed, before the incident is declared
@@ -476,13 +513,24 @@ class HydraRuntime:
                           ) -> Generator[Event, None, None]:
         """Full recovery path for a declared-dead device.
 
-        Kills and releases every victim Offcode on the device, closes
-        the channels touching it, fences the device into fixed-function
-        mode, re-solves the layout with the device excluded (degraded
-        mode: mandatory constraints droppable, survivors pinned) and
-        re-deploys the victims — the paper's host-based baseline.
-        Application recovery hooks then rewire data channels; only after
-        they finish is the incident stamped recovered.
+        Kills and releases every victim Offcode on the device, captures
+        unacked messages from channels about to die with it, closes
+        those channels, fences the device into fixed-function mode,
+        re-solves the layout with the device excluded (degraded mode:
+        mandatory constraints droppable, survivors pinned) and
+        re-deploys the victims — the paper's host-based baseline.  The
+        last shipped checkpoint (if any) is restored into each
+        replacement instance, application recovery hooks rewire data
+        channels, and the captured unacked messages are replayed on the
+        replacement channels (at-least-once across the recovery
+        boundary: a message whose ack died with the wire may arrive
+        twice).  Only after all of that is the incident stamped
+        recovered; a re-deploy failure stamps ``failed_at_ns``/``error``
+        instead so partial recoveries are visible.
+
+        Overlapping incidents serialize on the recovery lock, but each
+        marks its device failed *before* waiting so a concurrent solve
+        already excludes it.
         """
         if name in self.failed_devices:
             return
@@ -490,6 +538,15 @@ class HydraRuntime:
         self.failed_devices.add(name)
         incident = RecoveryIncident(device=name, died_at_ns=self.sim.now)
         self.incidents.append(incident)
+        yield self._recovery_lock.request()
+        try:
+            yield from self._recover_device(name, device_runtime, incident)
+        finally:
+            self._recovery_lock.release()
+
+    def _recover_device(self, name: str, device_runtime: DeviceRuntime,
+                        incident: RecoveryIncident
+                        ) -> Generator[Event, None, None]:
         victims = [bindname for bindname in list(device_runtime.offcodes)
                    if bindname != "hydra.Heap"]
         incident.victims = victims
@@ -503,11 +560,16 @@ class HydraRuntime:
         for bindname in victims:
             self._closure_documents(bindname, documents)
 
+        # Capture unacked messages *before* the channels close: a
+        # noise-armed reliable channel severed mid-exchange still holds
+        # the frames the wire never acknowledged.
+        dead_site = device_runtime.site
+        pending = self._capture_unacked(dead_site)
+
         for bindname in victims:
             incident.reports.append(self.fail_offcode(bindname))
 
         # Channels with an endpoint on the dead device are gone with it.
-        dead_site = device_runtime.site
         for channel in self.executive.channels:
             if not channel.closed and any(
                     endpoint.site is dead_site
@@ -523,6 +585,7 @@ class HydraRuntime:
                     objective=None)
             except Exception as exc:
                 incident.error = repr(exc)
+                incident.failed_at_ns = self.sim.now
                 trace_emit(self.sim, "fault",
                            f"recovery of {name} failed: {exc!r}",
                            device=name)
@@ -530,19 +593,105 @@ class HydraRuntime:
             incident.placement = {
                 bindname: report.location_of(bindname)
                 for bindname in report.offcodes}
+            self._restore_checkpoints(incident)
             for hook in self._recovery_hooks:
                 try:
                     yield from hook(name, incident)
                 except Exception as exc:
+                    incident.hook_errors.append(repr(exc))
                     trace_emit(self.sim, "fault",
                                f"recovery hook failed after {name}: "
                                f"{exc!r}", device=name)
+            yield from self._replay_unacked(incident, pending)
 
         incident.recovered_at_ns = self.sim.now
         trace_emit(self.sim, "fault",
                    f"device {name} recovery complete",
                    device=name, latency_ns=incident.latency_ns,
-                   placement=tuple(sorted(incident.placement.items())))
+                   placement=tuple(sorted(incident.placement.items())),
+                   restored=tuple(incident.restored),
+                   replayed=incident.replayed)
+
+    def _capture_unacked(self, dead_site: ExecutionSite) -> List[Tuple]:
+        """Unacked ``(writer_bindname, label, messages)`` per dying channel.
+
+        The writer is the channel's owning (creator-bound) Offcode; a
+        channel owned by the host application (proxy channels) has no
+        replacement writer to replay from and is skipped.
+        """
+        pending: List[Tuple] = []
+        for channel in self.executive.channels:
+            if channel.closed or not any(
+                    endpoint.site is dead_site
+                    for endpoint in channel.endpoints):
+                continue
+            messages = channel.unacked_messages()
+            if not messages:
+                continue
+            writer = channel.creator_endpoint.bound_offcode
+            if writer is None:
+                continue
+            pending.append((writer.bindname, channel.config.label,
+                            messages))
+        return pending
+
+    def _restore_checkpoints(self, incident: RecoveryIncident) -> None:
+        """Adopt each victim's last shipped checkpoint on its replacement."""
+        store = self.depot.checkpoints
+        for bindname in incident.victims:
+            checkpoint = store.latest(bindname)
+            if checkpoint is None:
+                continue
+            replacement = self.locate(bindname)
+            if replacement is None or not checkpointable(replacement):
+                continue
+            try:
+                replacement.restore(checkpoint.state)
+            except Exception as exc:
+                incident.hook_errors.append(
+                    f"restore of {bindname}: {exc!r}")
+                trace_emit(self.sim, "fault",
+                           f"checkpoint restore of {bindname} failed: "
+                           f"{exc!r}", offcode=bindname)
+                continue
+            incident.restored.append(bindname)
+            trace_emit(self.sim, "fault",
+                       f"{bindname} restored from checkpoint "
+                       f"seq={checkpoint.seq} "
+                       f"(taken {self.sim.now - checkpoint.taken_at_ns} ns "
+                       "ago)", offcode=bindname, seq=checkpoint.seq)
+
+    def _replay_unacked(self, incident: RecoveryIncident,
+                        pending: List[Tuple]
+                        ) -> Generator[Event, None, None]:
+        """Re-send captured unacked messages on replacement channels.
+
+        Runs after the recovery hooks so the replacement channels exist.
+        Each message goes to every open, connected, same-label channel
+        the relocated writer now holds; individual send failures are
+        traced and skipped (the stream itself will retransmit at the
+        application layer if it cares more).
+        """
+        for writer_bindname, label, messages in pending:
+            writer = self.locate(writer_bindname)
+            if writer is None:
+                continue
+            channels = [ch for ch in getattr(writer, "channels", [])
+                        if not ch.closed and ch.connected
+                        and ch.config.label == label]
+            if not channels:
+                continue
+            for payload, size_bytes in messages:
+                for channel in channels:
+                    try:
+                        endpoint = channel.endpoint_of(writer)
+                        yield from endpoint.write(payload, size_bytes)
+                        incident.replayed += 1
+                    except Exception as exc:
+                        trace_emit(self.sim, "fault",
+                                   f"replay on {label!r} for "
+                                   f"{writer_bindname} failed: {exc!r}",
+                                   offcode=writer_bindname)
 
     def document_of(self, bindname: str) -> OdfDocument:
         """The ODF a deployed Offcode came from."""

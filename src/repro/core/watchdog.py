@@ -232,6 +232,20 @@ class DeviceWatchdog:
             yield from self.runtime.on_device_failure(name)
         except Exception as exc:
             # Recovery is best-effort; a failure here must not take the
-            # simulator down with it (nobody awaits this process).
+            # simulator down with it (nobody awaits this process) — but
+            # it must not vanish either: stamp the incident as failed so
+            # callers and the chaos invariant checker see a partial
+            # recovery instead of one that silently never completes.
             trace_emit(self.sim, "fault",
                        f"recovery of {name} failed: {exc!r}", device=name)
+            incident = next(
+                (i for i in reversed(self.runtime.incidents)
+                 if i.device == name), None)
+            if incident is None:
+                from repro.core.runtime import RecoveryIncident
+                incident = RecoveryIncident(device=name,
+                                            died_at_ns=self.sim.now)
+                self.runtime.incidents.append(incident)
+            if incident.recovered_at_ns is None:
+                incident.error = incident.error or repr(exc)
+                incident.failed_at_ns = self.sim.now

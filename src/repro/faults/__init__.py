@@ -12,6 +12,10 @@ The subsystem splits cleanly in two:
   (:meth:`~repro.hw.device.DeviceHealth.crash`,
   :meth:`~repro.hw.bus.Bus.inject_transients`,
   :meth:`~repro.core.channel.Channel.set_fault_filter`).
+* :mod:`repro.faults.chaos` — the seeded soak harness: a seed
+  deterministically expands into a randomized plan, the offloaded
+  TiVoPC pipeline runs under it, and :func:`~repro.faults.chaos.\
+check_invariants` decides pass/fail (``python -m repro.faults.chaos``).
 
 All randomness (loss/corruption coin flips) comes from a named
 :class:`repro.sim.rng.RandomStreams` stream — never wall clock — so the
@@ -21,4 +25,20 @@ same seed and plan replay the same failure history, byte for byte.
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 
-__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan"]
+__all__ = ["ChaosProfile", "ChaosReport", "ChaosRun", "FaultEvent",
+           "FaultInjector", "FaultKind", "FaultPlan", "check_invariants",
+           "generate_plan", "run_chaos_scenario", "soak"]
+
+# The chaos harness pulls in the whole TiVoPC testbed; importing it
+# lazily keeps `import repro.faults` light and lets `python -m
+# repro.faults.chaos` run without a double-import warning.
+_CHAOS_EXPORTS = ("ChaosProfile", "ChaosReport", "ChaosRun",
+                  "check_invariants", "generate_plan",
+                  "run_chaos_scenario", "soak")
+
+
+def __getattr__(name):
+    if name in _CHAOS_EXPORTS:
+        from repro.faults import chaos
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,7 +16,7 @@ import random
 from typing import Callable, Dict, Generator, List, Optional
 
 from repro.errors import ReproError
-from repro.core.channel import Channel, Message, Reliability
+from repro.core.channel import Channel, Message
 from repro.core.executive import ChannelExecutive
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.hw.bus import Bus
@@ -87,7 +87,7 @@ class FaultInjector:
             channels = self._channels_labelled(event.target)
             if not channels:
                 raise ReproError(
-                    f"no UNRELIABLE channel labelled {event.target!r}")
+                    f"no open channel labelled {event.target!r}")
             for channel in channels:
                 channel.set_fault_filter(self._noise_filter(loss, corrupt))
             trace_emit(self.sim, "fault",
@@ -112,12 +112,13 @@ class FaultInjector:
                 f"injector has no bus registered as {name!r}") from None
 
     def _channels_labelled(self, label: str) -> List[Channel]:
+        # Reliability is no longer a shield: noise on a RELIABLE channel
+        # arms its ack/retransmit protocol (exactly-once is earned, not
+        # assumed), while UNRELIABLE channels surface the faults raw.
         return [channel
                 for executive in self.executives
                 for channel in executive.channels
-                if (channel.config.label == label and not channel.closed
-                    and channel.config.reliability
-                    is Reliability.UNRELIABLE)]
+                if channel.config.label == label and not channel.closed]
 
     def _noise_filter(self, loss: float, corrupt: float
                       ) -> Callable[[Message], Optional[str]]:

@@ -25,7 +25,7 @@ class FaultKind(enum.Enum):
     DEVICE_STALL = "device-stall"        # firmware wedges, may resume
     DEVICE_RESUME = "device-resume"      # stalled firmware recovers
     BUS_TRANSIENT = "bus-transient"      # soft interconnect error, replayed
-    CHANNEL_NOISE = "channel-noise"      # loss/corruption on UNRELIABLE
+    CHANNEL_NOISE = "channel-noise"      # message loss/corruption in flight
 
 
 @dataclass(frozen=True)
@@ -91,8 +91,10 @@ class FaultPlan:
 
     def channel_noise(self, at_ns: int, label: str, loss: float = 0.0,
                       corrupt: float = 0.0) -> "FaultPlan":
-        """From ``at_ns``, drop / corrupt messages on every UNRELIABLE
-        channel labelled ``label`` with the given probabilities."""
+        """From ``at_ns``, drop / corrupt messages on every channel
+        labelled ``label`` with the given probabilities.  UNRELIABLE
+        channels surface the faults to receivers; RELIABLE channels arm
+        their ack/retransmit protocol and still deliver exactly once."""
         if not 0 <= loss <= 1 or not 0 <= corrupt <= 1 or loss + corrupt > 1:
             raise ReproError(
                 f"invalid noise probabilities: loss={loss} corrupt={corrupt}")

@@ -26,6 +26,8 @@ from repro.core.guid import guid_from_name
 from repro.core.runtime import DeploymentSpec
 from repro.core.layout.constraints import ConstraintType
 from repro.core.odf import DeviceClassFilter, OdfDocument, OdfImport
+from repro.core.offcode import OffcodeState
+from repro.core.sites import DeviceSite
 from repro.hostos.nfs import HostNfsClient, RemoteFile
 from repro.hw.device import DeviceClass
 from repro.media.decoder import SoftwareDecoder
@@ -316,33 +318,101 @@ class OffloadedClient:
                                    testbed.config.media_port),
                                listen_port=testbed.config.media_port),
                            device_class=DeviceClass.HOST)
+            # Host builds for the disk-side components too, so a Smart
+            # Disk death (or an overlapping double failure) also has a
+            # fallback.  The ODF targets exclude HOST, so these builds
+            # are only reachable through a degraded re-solve — the
+            # baseline Figure-8 layout is unchanged.
+            depot.register(DISK_STREAMER_GUID, DiskStreamerOffcode,
+                           device_class=DeviceClass.HOST)
+            depot.register(DISPLAY_GUID,
+                           lambda site: DisplayOffcode(
+                               site, gpu=testbed.client_gpu),
+                           device_class=DeviceClass.HOST)
+            depot.register(CLIENT_FILE_GUID,
+                           lambda site: FileOffcode(
+                               site,
+                               HostNfsClient(testbed.client.kernel,
+                                             testbed.nas_address),
+                               handle=testbed.config.recording_handle),
+                           device_class=DeviceClass.HOST)
             self.runtime.add_recovery_hook(self._recovery_hook)
 
     # -- fault recovery ----------------------------------------------------------------
 
+    @staticmethod
+    def _site_healthy(offcode) -> bool:
+        site = offcode.site
+        return (not isinstance(site, DeviceSite)
+                or site.device.health.ok)
+
+    @staticmethod
+    def _has_open_data_channel(streamer, peer) -> bool:
+        return any(
+            not ch.closed and ch.connected
+            and ch.config.label == StreamerOffcode.DATA_LABEL
+            and any(ep.bound_offcode is peer for ep in ch.endpoints)
+            for ch in streamer.channels)
+
     def _recovery_hook(self, device: str,
                        incident) -> Generator[Event, None, None]:
-        """Rewire the media plane after host-fallback redeployment.
+        """Rewire the media plane after *any* recovery touching Figure 8.
 
-        The dead NIC took the Figure-8 multicast channel with it; the
-        peer-DMA provider cannot source a host-rooted multicast, so the
-        redeployed host Streamer gets one unicast channel per consumer
-        instead.
+        Generic and idempotent: refresh every component reference
+        (recovery may have replaced instances on new sites), re-attach
+        Pull-mates that are co-located but unattached, then give the
+        network Streamer one unicast data channel per healthy consumer
+        it cannot currently reach.  A consumer whose device has already
+        died (an overlapping double failure) is skipped — its own
+        incident will rewire it — and consumers already reachable over
+        an open data channel are left alone, so running the hook twice
+        wires nothing twice.
         """
-        if incident.placement.get("tivopc.NetStreamer") != "host":
-            return
         runtime = self.runtime
-        self.net_streamer = runtime.get_offcode("tivopc.NetStreamer")
-        config = (ChannelConfig.unicast().reliable().sequential()
-                  .copied().labeled(StreamerOffcode.DATA_LABEL))
+        self.net_streamer = runtime.locate("tivopc.NetStreamer")
+        self.disk_streamer = runtime.locate("tivopc.DiskStreamer")
+        self.decoder = runtime.locate("tivopc.Decoder")
+        self.display = runtime.locate("tivopc.Display")
+        self.file = runtime.locate("tivopc.File")
+
+        # Pull-mates wire directly when co-located.
+        if (self.decoder is not None and self.display is not None
+                and self.decoder.site is self.display.site
+                and self.decoder.display is not self.display):
+            self.decoder.attach_display(self.display)
+        if (self.disk_streamer is not None and self.file is not None
+                and self.disk_streamer.site is self.file.site
+                and self.disk_streamer.file_offcode is not self.file):
+            self.disk_streamer.attach_file(self.file)
+
+        streamer = self.net_streamer
+        if (streamer is None or streamer.state != OffcodeState.RUNNING
+                or not self._site_healthy(streamer)):
+            return
+        rewired = False
         for peer in (self.decoder, self.disk_streamer):
+            if (peer is None or peer.state != OffcodeState.RUNNING
+                    or not self._site_healthy(peer)):
+                continue
+            if self._has_open_data_channel(streamer, peer):
+                continue
+            # The peer-DMA provider cannot source a host-rooted
+            # multicast, so rewiring uses one unicast channel per
+            # consumer; a host-side streamer also loses the zero-copy
+            # pinned path.
+            config = (ChannelConfig.unicast().reliable().sequential()
+                      .labeled(StreamerOffcode.DATA_LABEL))
+            config = (config.copied() if streamer.location == "host"
+                      else config.zero_copy())
             channel = runtime.executive.create_channel_for_offcode(
-                config, self.net_streamer)
+                config, streamer)
             runtime.executive.connect_offcode(channel, peer)
-        self.data_channel = None
-        # Driver/daemon work for the rewiring itself.
-        yield from self.net_streamer.site.execute(
-            5_000, context="recovery-rewire")
+            rewired = True
+        if rewired:
+            self.data_channel = None
+            # Driver/daemon work for the rewiring itself.
+            yield from streamer.site.execute(
+                5_000, context="recovery-rewire")
 
     # -- lifecycle ----------------------------------------------------------------------
 

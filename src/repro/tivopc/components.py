@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.errors import OffcodeError
+from repro.errors import ChannelError, DeviceFailedError, OffcodeError
 from repro.core.channel import Channel, Message
 from repro.core.interfaces import InterfaceSpec, MethodSpec
 from repro.core.offcode import Offcode
@@ -181,9 +181,29 @@ class StreamerOffcode(Offcode):
                 if channel.closed:
                     self.data_channels.remove(channel)
                     continue
-                endpoint = channel.endpoint_of(self)
-                yield from endpoint.write(payload, packet.size_bytes)
+                try:
+                    endpoint = channel.endpoint_of(self)
+                    yield from endpoint.write(payload, packet.size_bytes)
+                except (ChannelError, DeviceFailedError):
+                    # A consumer's device died under this write.  The
+                    # streamer itself is healthy: drop the dead channel
+                    # and keep serving the survivors; recovery will
+                    # rewire (and replay the unacked frames) shortly.
+                    self.data_channels.remove(channel)
+                    if self.data_channel is channel:
+                        self.data_channel = None
             self.chunks_handled += 1
+
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def snapshot(self):
+        """Stream progress: chunk counter and the viewing-pause flag."""
+        return {"chunks_handled": self.chunks_handled,
+                "paused": self.paused}
+
+    def restore(self, state) -> None:
+        self.chunks_handled = int(state.get("chunks_handled", 0))
+        self.paused = bool(state.get("paused", False))
 
     # -- disk role ----------------------------------------------------------------------
 
@@ -237,6 +257,15 @@ class DecoderOffcode(Offcode):
         if channel.config.label == StreamerOffcode.DATA_LABEL:
             channel.endpoint_of(self).install_call_handler(self._on_chunk)
 
+    def snapshot(self):
+        """Decode progress: partial-frame buffer and frame counter."""
+        return {"bytes_buffered": self.bytes_buffered,
+                "frames_decoded": self.frames_decoded}
+
+    def restore(self, state) -> None:
+        self.bytes_buffered = int(state.get("bytes_buffered", 0))
+        self.frames_decoded = int(state.get("frames_decoded", 0))
+
     def _on_chunk(self, message: Message) -> Generator[Event, None, None]:
         if (isinstance(message.payload, tuple) and message.payload
                 and message.payload[0] == "paused"):
@@ -279,6 +308,12 @@ class DisplayOffcode(Offcode):
 
     def FramesShown(self) -> int:
         return self.frames_shown
+
+    def snapshot(self):
+        return {"frames_shown": self.frames_shown}
+
+    def restore(self, state) -> None:
+        self.frames_shown = int(state.get("frames_shown", 0))
 
     def show_frame(self, raw_bytes: int) -> Generator[Event, None, None]:
         """Commit one decoded frame via the site-appropriate path."""
@@ -326,6 +361,25 @@ class FileOffcode(Offcode):
 
     def BytesStored(self) -> int:
         return self.bytes_written
+
+    def snapshot(self):
+        """Counters plus the remote file's append cursor — a restored
+        File keeps appending where the dead device's instance left off
+        instead of overwriting the recording from offset zero."""
+        state = {"bytes_read": self.bytes_read,
+                 "bytes_written": self.bytes_written}
+        for attr in ("write_offset", "read_offset"):
+            value = getattr(self.remote, attr, None)
+            if isinstance(value, int):
+                state[attr] = value
+        return state
+
+    def restore(self, state) -> None:
+        self.bytes_read = int(state.get("bytes_read", 0))
+        self.bytes_written = int(state.get("bytes_written", 0))
+        for attr in ("write_offset", "read_offset"):
+            if attr in state and hasattr(self.remote, attr):
+                setattr(self.remote, attr, int(state[attr]))
 
 
 class BroadcastOffcode(Offcode):

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro import units
+from repro.core.checkpoint import CheckpointConfig
 from repro.core.runtime import HydraRuntime
 from repro.core.watchdog import WatchdogConfig
 from repro.faults.injector import FaultInjector
@@ -70,6 +71,11 @@ class TestbedConfig:
     # runtimes.
     fault_plan: Optional[FaultPlan] = None
     watchdog: Optional[WatchdogConfig] = None
+    # Periodic offcode checkpointing (Section 3.4 management channel):
+    # when set, both runtimes snapshot checkpointable offcodes over OOB
+    # into their depot stores so recovery can restore rather than
+    # cold-start.
+    checkpoint: Optional[CheckpointConfig] = None
 
 
 @dataclass
@@ -184,6 +190,9 @@ class Testbed:
         if self.config.watchdog is not None:
             self.server_runtime.start_watchdog(self.config.watchdog)
             self.client_runtime.start_watchdog(self.config.watchdog)
+        if self.config.checkpoint is not None:
+            self.server_runtime.start_checkpoints(self.config.checkpoint)
+            self.client_runtime.start_checkpoints(self.config.checkpoint)
         if self.fault_injector is not None:
             self.fault_injector.start()
 

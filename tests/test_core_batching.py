@@ -125,6 +125,41 @@ def test_call_batch_drop_expired_keeps_fresh_entries():
     assert [e.payload for e in batch] == ["fresh"]
 
 
+def test_drop_expired_delivers_deadline_error_to_waiter():
+    from repro.core.call import BatchEntry, ReturnDescriptor
+    from repro.core.guid import guid_from_name
+    from repro.errors import OffloadTimeoutError
+
+    sim = Simulator()
+    descriptor = ReturnDescriptor(sim)
+    call = Call(guid_from_name("IThing"), "Get", b"[]",
+                return_descriptor=descriptor)
+    # add() rejects two-way calls, but drop_expired defends against a
+    # descriptor-bearing payload anyway — its waiter must get a deadline
+    # exception, never a silent hang.
+    batch = CallBatch()
+    batch.entries.append(BatchEntry(payload=call, size_bytes=call.size_bytes,
+                                    enqueued_at_ns=0, deadline_at_ns=100))
+    out = {}
+
+    def waiter():
+        try:
+            yield descriptor.event
+        except OffloadTimeoutError as exc:
+            out["exc"] = exc
+
+    process = sim.spawn(waiter())
+    sim.run(until=10)
+    dropped = batch.drop_expired(now_ns=500)
+    sim.run_until_event(process)
+    assert [e.payload for e in dropped] == [call]
+    assert batch.count == 0
+    assert descriptor.delivered
+    assert "deadline passed before flush" in str(out["exc"])
+    # A second expiry sweep must not re-fire the one-shot descriptor.
+    assert batch.drop_expired(now_ns=1000) == []
+
+
 # -- flush watermarks ---------------------------------------------------------------
 
 def test_count_watermark_flushes_inline(world):

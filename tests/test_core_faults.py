@@ -338,15 +338,38 @@ def test_channel_noise_filter_and_stats(world):
     assert out["payload"].original == "payload"
 
 
-def test_fault_filter_rejected_on_reliable_channel(world):
+def test_fault_filter_on_reliable_channel_arms_retransmit(world):
+    # PR 4 lifted the old rejection: noise on a RELIABLE channel arms
+    # the ack/retransmit protocol instead of raising.
     sim, machine, runtime = world
-    config = ChannelConfig(kind=ChannelKind.UNICAST,
-                           reliability=Reliability.RELIABLE,
-                           buffering=Buffering.COPY,
-                           label="safe")
+    config = (ChannelConfig.unicast().reliable().copied()
+              .labeled("earned"))
     channel = runtime.executive.create_channel(config, runtime.host_site)
-    with pytest.raises(ChannelError):
-        channel.set_fault_filter(lambda message: "drop")
+    device_ep = runtime.executive.connect_site(
+        channel, runtime.device_runtime("nic0").site)
+    verdicts = iter(["drop", None, None])   # data lost, retry ok, ack ok
+    channel.set_fault_filter(lambda message: next(verdicts, None))
+    assert channel._rel is not None
+
+    got = []
+
+    def reader():
+        message = yield from device_ep.read()
+        got.append(message.payload)
+
+    def writer():
+        yield from channel.creator_endpoint.write("frame", 64)
+
+    sim.spawn(reader())
+    sim.run_until_event(sim.spawn(writer()))
+    stats = channel.stats()
+    assert got == ["frame"]
+    assert stats.sent == 2                  # original + one retransmit
+    assert stats.retransmits == 1
+    assert stats.dropped == 1
+    assert stats.delivered == 1
+    assert stats.sent == stats.delivered + stats.dropped
+    assert channel.unacked_messages() == []
 
 
 def test_bus_transient_replays_transfer(world):
