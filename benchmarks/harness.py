@@ -56,14 +56,25 @@ DEFAULT_BENCH_JSON = RESULTS_DIR / "bench.json"
 # >= 2x this number; `run` records the achieved ratio in bench.json.
 PRE_OVERHAUL_EVENTS_PER_SEC = 51_373
 
+# events/sec of the same microbenchmark immediately *before* the
+# telemetry instrumentation landed (commit 1b84aef, best of 8 on the
+# reference machine the same session the instrumented baseline was
+# committed — wall-clock noise on that machine is ~5 %, so paired
+# best-of-N is the only fair protocol).  The instrumentation's
+# acceptance bar: with telemetry disabled (the default) the hot path
+# pays one attribute check per site and may not regress more than 2 %
+# against this number (benchmarks/test_bench_telemetry.py).
+PRE_TELEMETRY_EVENTS_PER_SEC = 114_888
+
 # Simulated seconds per harness scenario: long enough to amortize setup,
 # short enough for a CI smoke job.
 MICRO_SECONDS = 5.0
 
 
-def _timed_testbed_run(server_cls, seconds: float) -> Dict[str, float]:
+def _timed_testbed_run(server_cls, seconds: float,
+                       telemetry: bool = False) -> Dict[str, float]:
     """Run one TiVoPC scenario and report loop throughput."""
-    testbed = Testbed(TestbedConfig(seed=0))
+    testbed = Testbed(TestbedConfig(seed=0, telemetry=telemetry))
     testbed.start()
     MeasurementClient(testbed).start()
     server_cls(testbed).start()
@@ -71,13 +82,17 @@ def _timed_testbed_run(server_cls, seconds: float) -> Dict[str, float]:
     testbed.run(seconds)
     wall_s = time.perf_counter() - start
     events = testbed.sim.events_processed
-    return {
+    metrics = {
         "wall_s": wall_s,
         "sim_ns": testbed.sim.now,
         "events": events,
         "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
         "pool_recycled": testbed.sim.pool_recycled,
     }
+    if testbed.telemetry is not None:
+        metrics["spans"] = len(testbed.telemetry.spans)
+        metrics["instants"] = len(testbed.telemetry.events)
+    return metrics
 
 
 def bench_engine_micro_tivopc() -> Dict[str, float]:
@@ -91,6 +106,30 @@ def bench_engine_micro_tivopc() -> Dict[str, float]:
     metrics["pre_overhaul_events_per_sec"] = PRE_OVERHAUL_EVENTS_PER_SEC
     metrics["speedup_vs_pre_overhaul"] = (
         metrics["events_per_sec"] / PRE_OVERHAUL_EVENTS_PER_SEC)
+    # Telemetry is disabled here, so this ratio is the disabled-path
+    # cost of the instrumentation (one attribute check per site).
+    metrics["pre_telemetry_events_per_sec"] = PRE_TELEMETRY_EVENTS_PER_SEC
+    metrics["vs_pre_telemetry"] = (
+        metrics["events_per_sec"] / PRE_TELEMETRY_EVENTS_PER_SEC)
+    return metrics
+
+
+def bench_engine_micro_telemetry() -> Dict[str, float]:
+    """The reference workload with a telemetry hub attached.
+
+    Same simulated work as ``engine_micro_tivopc`` — spans are recorded
+    without creating sim events, so ``events`` must match exactly — but
+    every instrumented site now mints spans/instants.  The recorded
+    ``tracing_cost_vs_disabled`` is the price of *enabled* tracing;
+    the disabled-path bar lives in the plain microbenchmark against
+    ``PRE_TELEMETRY_EVENTS_PER_SEC``.
+    """
+    metrics = _timed_testbed_run(SimpleServer, MICRO_SECONDS,
+                                 telemetry=True)
+    metrics["pre_telemetry_events_per_sec"] = PRE_TELEMETRY_EVENTS_PER_SEC
+    metrics["tracing_cost_vs_disabled"] = (
+        PRE_TELEMETRY_EVENTS_PER_SEC / metrics["events_per_sec"]
+        if metrics["events_per_sec"] else 0.0)
     return metrics
 
 
@@ -164,6 +203,7 @@ def bench_timeout_storm() -> Dict[str, float]:
 
 BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
     "engine_micro_tivopc": bench_engine_micro_tivopc,
+    "engine_micro_telemetry": bench_engine_micro_telemetry,
     "offloaded_tivopc": bench_offloaded_tivopc,
     "retransmit_path": bench_retransmit_path,
     "timeout_storm": bench_timeout_storm,

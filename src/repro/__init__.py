@@ -56,5 +56,5 @@ def __getattr__(name):
 
 _SUBPACKAGES = frozenset({
     "api", "core", "errors", "evaluation", "faults", "hostos", "hw",
-    "media", "net", "sim", "tivopc", "units", "virt",
+    "media", "net", "sim", "telemetry", "tivopc", "units", "virt",
 })

@@ -28,6 +28,9 @@ The surface groups by concern:
   :class:`FaultInjector`, the device watchdog, periodic checkpointing
   (:class:`CheckpointConfig`) and the seeded chaos soak
   (:func:`run_chaos_scenario`, :func:`soak`).
+* **Telemetry** — the :class:`Telemetry` hub (causal spans +
+  :class:`MetricsRegistry`); exporters live in
+  :mod:`repro.telemetry.export`.
 * **TiVoPC case study** — testbed, servers, clients and metrics.
 """
 
@@ -150,6 +153,14 @@ from repro.faults.chaos import (
     ChaosReport,
     run_chaos_scenario,
     soak,
+)
+
+# -- telemetry ---------------------------------------------------------------------------
+from repro.telemetry import (
+    MetricsRegistry,
+    Span,
+    SpanContext,
+    Telemetry,
 )
 
 # -- virtualization --------------------------------------------------------------------
@@ -285,6 +296,11 @@ __all__ = [
     "WatchdogConfig",
     "run_chaos_scenario",
     "soak",
+    # telemetry
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Telemetry",
     # virtualization
     "OffloadedVmm",
     "SoftwareVmm",

@@ -109,6 +109,11 @@ class Call:
         # Cached at construction — the arguments are already encoded and
         # immutable, and channels/batchers consult the size repeatedly.
         self.size_bytes = 24 + len(method) + len(encoded_args)
+        # Telemetry span context (repro.telemetry.SpanContext) stamped by
+        # the proxy so downstream layers — channel, batcher, bus, device
+        # dispatch — parent their spans under the invocation's trace.
+        # None when telemetry is off; never serialized on the wire.
+        self.trace_ctx = None
 
     @property
     def one_way(self) -> bool:
@@ -125,9 +130,11 @@ class Call:
         descriptor.
         """
         descriptor = None if self.one_way else ReturnDescriptor(sim)
-        return Call(interface_guid=self.interface_guid, method=self.method,
+        call = Call(interface_guid=self.interface_guid, method=self.method,
                     encoded_args=self.encoded_args,
                     return_descriptor=descriptor)
+        call.trace_ctx = self.trace_ctx
+        return call
 
     def args(self) -> Tuple[Any, ...]:
         """Deserialize the argument tuple."""

@@ -478,17 +478,42 @@ class Endpoint:
         """
         from repro.core.call import ReturnDescriptor  # cycle-free import
         call = message.payload
+        tel = self.site.sim.telemetry
         original = call.return_descriptor
         if original is None:
-            yield from self.bound_offcode.dispatch(call)
+            if tel is None:
+                yield from self.bound_offcode.dispatch(call)
+                return
+            span = tel.begin(f"execute.{call.method}", "device",
+                             f"site:{self.site.name}",
+                             parent=call.trace_ctx or tel.current_ctx(),
+                             method=call.method)
+            token = tel.push_ctx(span.context)
+            try:
+                yield from self.bound_offcode.dispatch(call)
+            finally:
+                tel.pop_ctx(token)
+                tel.end(span)
             return
         local = ReturnDescriptor(self.site.sim)
         call.return_descriptor = local
-        yield from self.bound_offcode.dispatch(call)
-        if not local.event.triggered:
-            raise ChannelError(
-                f"dispatch of {call.method} returned without delivering "
-                "a result")
+        span = token = None
+        if tel is not None:
+            span = tel.begin(f"execute.{call.method}", "device",
+                             f"site:{self.site.name}",
+                             parent=call.trace_ctx or tel.current_ctx(),
+                             method=call.method)
+            token = tel.push_ctx(span.context)
+        try:
+            yield from self.bound_offcode.dispatch(call)
+            if not local.event.triggered:
+                raise ChannelError(
+                    f"dispatch of {call.method} returned without delivering "
+                    "a result")
+        finally:
+            if span is not None:
+                tel.pop_ctx(token)
+                tel.end(span, ok=local.event.triggered and local.event.ok)
         # Reverse transfer: result header + encoded payload.
         source_endpoint = next(
             (e for e in self.channel.endpoints
@@ -496,8 +521,20 @@ class Endpoint:
         if source_endpoint is not None and source_endpoint is not self:
             reply_size = 24 + (len(local.event._value)
                                if local.event.ok else 32)
-            yield from self.channel.provider.transfer(
-                self.channel, self, [source_endpoint], reply_size)
+            reply = rtoken = None
+            if tel is not None:
+                reply = tel.begin("reply", "reply",
+                                  self.channel.telemetry_track,
+                                  parent=call.trace_ctx or span,
+                                  bytes=reply_size)
+                rtoken = tel.push_ctx(reply.context)
+            try:
+                yield from self.channel.provider.transfer(
+                    self.channel, self, [source_endpoint], reply_size)
+            finally:
+                if reply is not None:
+                    tel.pop_ctx(rtoken)
+                    tel.end(reply)
         call.return_descriptor = original
         if local.event.ok:
             original.deliver(local.event._value)
@@ -532,6 +569,10 @@ class Channel:
         self.batcher = None
         self.retransmits = 0
         self.dup_dropped = 0
+        # Telemetry track name: labelled channels get their label, the
+        # rest group by id (one Perfetto track per channel either way).
+        self.telemetry_track = (f"channel:{config.label}" if config.label
+                                else f"channel:#{channel_id}")
         # Ack/retransmit knobs; may be replaced before a filter is armed.
         self.retransmit_config = RetransmitConfig()
         # Protocol state, armed lazily when a fault filter lands on a
@@ -641,51 +682,72 @@ class Channel:
         if self._rel is not None and self._fault_filter is not None:
             yield from self._reliable_write_from(source, payload, size_bytes)
             return
-        destinations = [e for e in self.endpoints if e is not source]
-        message = Message(payload=payload, size_bytes=size_bytes,
-                          sent_at_ns=source.site.sim.now,
-                          source=source.site.name)
-        if self._sequencer is not None:
-            yield self._sequencer.request()
+        sim = source.site.sim
+        tel = sim.telemetry
+        span = token = None
+        if tel is not None:
+            span = tel.begin("channel.write", "channel",
+                             self.telemetry_track,
+                             parent=(getattr(payload, "trace_ctx", None)
+                                     or tel.current_ctx()),
+                             bytes=size_bytes)
+            token = tel.push_ctx(span.context)
         try:
-            yield from self.provider.transfer(self, source, destinations,
-                                              size_bytes)
-        finally:
+            destinations = [e for e in self.endpoints if e is not source]
+            message = Message(payload=payload, size_bytes=size_bytes,
+                              sent_at_ns=sim.now,
+                              source=source.site.name)
             if self._sequencer is not None:
-                self._sequencer.release()
-        source.messages_out += 1
-        self.messages_sent += 1
-        self.bytes_sent += size_bytes
-        trace_emit(source.site.sim, "channel",
-                   f"#{self.channel_id} {source.site.name} -> "
-                   f"{','.join(d.site.name for d in destinations)}",
-                   bytes=size_bytes, call=message.is_call)
-        if self._fault_filter is not None:
-            verdict = self._fault_filter(message)
-            if verdict == "drop":
-                # Lost on the wire *after* occupying it: cost paid, no data.
-                self.drops += 1
-                trace_emit(source.site.sim, "fault",
-                           f"#{self.channel_id} message dropped in flight",
-                           channel=self.channel_id, label=self.config.label)
-                return
-            if verdict == "corrupt":
-                self.corrupted += 1
-                trace_emit(source.site.sim, "fault",
-                           f"#{self.channel_id} message corrupted in flight",
-                           channel=self.channel_id, label=self.config.label)
-                message = Message(payload=CorruptedPayload(message.payload),
-                                  size_bytes=message.size_bytes,
-                                  sent_at_ns=message.sent_at_ns,
-                                  source=message.source)
-        for destination in destinations:
-            dropped_before = destination.rx.dropped
-            yield from destination._deliver(message)
-            delta = destination.rx.dropped - dropped_before
-            if delta > 0:
-                self.drops += delta
-            else:
-                self.delivered += 1
+                yield self._sequencer.request()
+            try:
+                yield from self.provider.transfer(self, source, destinations,
+                                                  size_bytes)
+            finally:
+                if self._sequencer is not None:
+                    self._sequencer.release()
+            source.messages_out += 1
+            self.messages_sent += 1
+            self.bytes_sent += size_bytes
+            trace_emit(sim, "channel",
+                       f"#{self.channel_id} {source.site.name} -> "
+                       f"{','.join(d.site.name for d in destinations)}",
+                       bytes=size_bytes, call=message.is_call)
+            if self._fault_filter is not None:
+                verdict = self._fault_filter(message)
+                if verdict == "drop":
+                    # Lost on the wire *after* occupying it: cost paid,
+                    # no data.
+                    self.drops += 1
+                    trace_emit(sim, "fault",
+                               f"#{self.channel_id} message dropped in "
+                               "flight",
+                               channel=self.channel_id,
+                               label=self.config.label)
+                    return
+                if verdict == "corrupt":
+                    self.corrupted += 1
+                    trace_emit(sim, "fault",
+                               f"#{self.channel_id} message corrupted in "
+                               "flight",
+                               channel=self.channel_id,
+                               label=self.config.label)
+                    message = Message(
+                        payload=CorruptedPayload(message.payload),
+                        size_bytes=message.size_bytes,
+                        sent_at_ns=message.sent_at_ns,
+                        source=message.source)
+            for destination in destinations:
+                dropped_before = destination.rx.dropped
+                yield from destination._deliver(message)
+                delta = destination.rx.dropped - dropped_before
+                if delta > 0:
+                    self.drops += delta
+                else:
+                    self.delivered += 1
+        finally:
+            if span is not None:
+                tel.pop_ctx(token)
+                tel.end(span)
 
     # -- the earned-reliability path -----------------------------------------------------
 
@@ -752,6 +814,29 @@ class Channel:
         rel = self._rel
         cfg = rel.config
         sim = source.site.sim
+        tel = sim.telemetry
+        span = token = None
+        if tel is not None:
+            span = tel.begin("channel.exchange", "channel",
+                             self.telemetry_track,
+                             parent=(getattr(message.payload, "trace_ctx",
+                                             None) or tel.current_ctx()),
+                             seq=seq, bytes=size_bytes)
+            token = tel.push_ctx(span.context)
+        try:
+            yield from self._exchange_attempts(
+                source, destinations, message, seq, size_bytes,
+                transfer_first, rel, cfg, sim)
+        finally:
+            if span is not None:
+                tel.pop_ctx(token)
+                tel.end(span)
+
+    def _exchange_attempts(self, source: Endpoint,
+                           destinations: List[Endpoint],
+                           message: Message, seq: int, size_bytes: int,
+                           transfer_first: bool, rel, cfg, sim
+                           ) -> Generator[Event, None, None]:
         attempt = 0
         while True:
             attempt += 1
@@ -851,6 +936,14 @@ class Channel:
         siblings.
         """
         rel = self._rel
+        tel = source.site.sim.telemetry
+        span = token = None
+        if tel is not None:
+            span = tel.begin("channel.batch", "channel",
+                             self.telemetry_track,
+                             parent=tel.current_ctx(), count=batch.count,
+                             bytes=batch.size_bytes, reliable=True)
+            token = tel.push_ctx(span.context)
         if self._sequencer is not None:
             yield self._sequencer.request()
         try:
@@ -879,6 +972,9 @@ class Channel:
         finally:
             if self._sequencer is not None:
                 self._sequencer.release()
+            if span is not None:
+                tel.pop_ctx(token)
+                tel.end(span)
 
     def send_vectored(self, source: Endpoint, batch: CallBatch
                       ) -> Generator[Event, None, None]:
@@ -901,53 +997,66 @@ class Channel:
             yield from self._send_vectored_reliable(source, batch,
                                                     destinations)
             return
-        if self._sequencer is not None:
-            yield self._sequencer.request()
+        tel = source.site.sim.telemetry
+        span = token = None
+        if tel is not None:
+            span = tel.begin("channel.batch", "channel",
+                             self.telemetry_track,
+                             parent=tel.current_ctx(), count=batch.count,
+                             bytes=batch.size_bytes)
+            token = tel.push_ctx(span.context)
         try:
-            yield from self.provider.transfer_vectored(
-                self, source, destinations, batch)
-        finally:
             if self._sequencer is not None:
-                self._sequencer.release()
-        source.messages_out += batch.count
-        self.messages_sent += batch.count
-        self.batches_sent += 1
-        self.bytes_sent += batch.size_bytes
-        trace_emit(source.site.sim, "channel",
-                   f"#{self.channel_id} {source.site.name} => "
-                   f"{','.join(d.site.name for d in destinations)} "
-                   f"[batch n={batch.count}]",
-                   bytes=batch.size_bytes, batch=batch.count)
-        for entry in batch:
-            message = Message(payload=entry.payload,
-                              size_bytes=entry.size_bytes,
-                              sent_at_ns=entry.enqueued_at_ns,
-                              source=source.site.name)
-            if self._fault_filter is not None:
-                verdict = self._fault_filter(message)
-                if verdict == "drop":
-                    self.drops += 1
-                    trace_emit(source.site.sim, "fault",
-                               f"#{self.channel_id} batched message "
-                               "dropped in flight",
-                               channel=self.channel_id,
-                               label=self.config.label)
-                    continue
-                if verdict == "corrupt":
-                    self.corrupted += 1
-                    message = Message(
-                        payload=CorruptedPayload(message.payload),
-                        size_bytes=message.size_bytes,
-                        sent_at_ns=message.sent_at_ns,
-                        source=message.source)
-            for destination in destinations:
-                dropped_before = destination.rx.dropped
-                yield from destination._deliver(message)
-                delta = destination.rx.dropped - dropped_before
-                if delta > 0:
-                    self.drops += delta
-                else:
-                    self.delivered += 1
+                yield self._sequencer.request()
+            try:
+                yield from self.provider.transfer_vectored(
+                    self, source, destinations, batch)
+            finally:
+                if self._sequencer is not None:
+                    self._sequencer.release()
+            source.messages_out += batch.count
+            self.messages_sent += batch.count
+            self.batches_sent += 1
+            self.bytes_sent += batch.size_bytes
+            trace_emit(source.site.sim, "channel",
+                       f"#{self.channel_id} {source.site.name} => "
+                       f"{','.join(d.site.name for d in destinations)} "
+                       f"[batch n={batch.count}]",
+                       bytes=batch.size_bytes, batch=batch.count)
+            for entry in batch:
+                message = Message(payload=entry.payload,
+                                  size_bytes=entry.size_bytes,
+                                  sent_at_ns=entry.enqueued_at_ns,
+                                  source=source.site.name)
+                if self._fault_filter is not None:
+                    verdict = self._fault_filter(message)
+                    if verdict == "drop":
+                        self.drops += 1
+                        trace_emit(source.site.sim, "fault",
+                                   f"#{self.channel_id} batched message "
+                                   "dropped in flight",
+                                   channel=self.channel_id,
+                                   label=self.config.label)
+                        continue
+                    if verdict == "corrupt":
+                        self.corrupted += 1
+                        message = Message(
+                            payload=CorruptedPayload(message.payload),
+                            size_bytes=message.size_bytes,
+                            sent_at_ns=message.sent_at_ns,
+                            source=message.source)
+                for destination in destinations:
+                    dropped_before = destination.rx.dropped
+                    yield from destination._deliver(message)
+                    delta = destination.rx.dropped - dropped_before
+                    if delta > 0:
+                        self.drops += delta
+                    else:
+                        self.delivered += 1
+        finally:
+            if span is not None:
+                tel.pop_ctx(token)
+                tel.end(span)
 
     # -- call convenience ------------------------------------------------------------------
 

@@ -141,6 +141,12 @@ class ChannelBatcher:
                        if self.policy is not None else None)
         pending.add(payload, size_bytes, now, deadline_at_ns=deadline_at)
         self.coalesced += 1
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.instant("batch.enqueue", "batch",
+                        self.channel.telemetry_track,
+                        parent=getattr(payload, "trace_ctx", None),
+                        bytes=size_bytes, pending=pending.count)
         if pending.count >= self.config.max_calls:
             yield from self._flush(key, "count")
         elif pending.payload_bytes >= self.config.max_bytes:
@@ -203,26 +209,39 @@ class ChannelBatcher:
             self.flushed_on_count += 1
         else:
             self.flushed_on_deadline += 1
-        attempt = 1
-        while True:
-            self.expired += len(batch.drop_expired(self.sim.now))
-            if batch.count == 0:
-                return
-            try:
-                yield from self.channel.send_vectored(source, batch)
-                return
-            except (DeviceFailedError, OffloadTimeoutError) as exc:
-                # A batch retries as a unit (one transaction either
-                # lands or doesn't); per-entry deadlines are re-checked
-                # above before the next attempt goes out.
-                if self.policy is None or attempt >= self.policy.max_attempts:
-                    self.channel.drops += batch.count
-                    raise RetryBudgetExceededError(
-                        f"batch flush on channel "
-                        f"#{self.channel.channel_id} failed after "
-                        f"{attempt} attempt(s): {exc}") from exc
-                yield self.sim.timeout(self.policy.backoff_ns(attempt))
-                attempt += 1
+        tel = self.sim.telemetry
+        span = token = None
+        if tel is not None:
+            span = tel.begin("batch.flush", "batch",
+                             self.channel.telemetry_track, cause=cause,
+                             count=batch.count, bytes=batch.payload_bytes)
+            token = tel.push_ctx(span.context)
+        try:
+            attempt = 1
+            while True:
+                self.expired += len(batch.drop_expired(self.sim.now))
+                if batch.count == 0:
+                    return
+                try:
+                    yield from self.channel.send_vectored(source, batch)
+                    return
+                except (DeviceFailedError, OffloadTimeoutError) as exc:
+                    # A batch retries as a unit (one transaction either
+                    # lands or doesn't); per-entry deadlines are
+                    # re-checked above before the next attempt goes out.
+                    if (self.policy is None
+                            or attempt >= self.policy.max_attempts):
+                        self.channel.drops += batch.count
+                        raise RetryBudgetExceededError(
+                            f"batch flush on channel "
+                            f"#{self.channel.channel_id} failed after "
+                            f"{attempt} attempt(s): {exc}") from exc
+                    yield self.sim.timeout(self.policy.backoff_ns(attempt))
+                    attempt += 1
+        finally:
+            if span is not None:
+                tel.pop_ctx(token)
+                tel.end(span)
 
     def flush_all(self) -> Generator[Event, None, None]:
         """Force every pending batch out (quiesce point for tests and

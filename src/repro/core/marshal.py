@@ -26,13 +26,16 @@ class _MarshalStats:
 
     ``encodes`` counts full serializations.  Retried proxy calls and
     replayed batch entries must reuse their cached bytes, so tests pin
-    the expected delta of this counter across those paths.
+    the expected delta of this counter across those paths.  ``decodes``
+    counts deserializations; both export through the telemetry registry
+    (:func:`repro.telemetry.adapters.bind_marshal`) as bind-time deltas.
     """
 
-    __slots__ = ("encodes",)
+    __slots__ = ("encodes", "decodes")
 
     def __init__(self) -> None:
         self.encodes = 0
+        self.decodes = 0
 
 
 stats = _MarshalStats()
@@ -103,6 +106,7 @@ def _encode_into(value: Any, out: List[bytes], depth: int) -> None:
 
 def decode(data: bytes) -> Any:
     """Deserialize bytes produced by :func:`encode`."""
+    stats.decodes += 1
     value, offset = _decode_at(data, 0, depth=0)
     if offset != len(data):
         raise MarshalError(

@@ -83,10 +83,29 @@ class Proxy:
             return result
         sim = self.endpoint.site.sim
         call = make_call(sim, self.interface, method_name, args)
+        tel = sim.telemetry
+        root = None
+        if tel is not None:
+            root = tel.begin(f"{self.interface.name}.{method_name}",
+                             "proxy", f"site:{self.endpoint.site.name}",
+                             method=method_name, one_way=call.one_way)
+            call.trace_ctx = root.context
         marshal_ns = _MARSHAL_FIXED_NS + round(
             len(call.encoded_args) * _MARSHAL_NS_PER_BYTE)
-        yield from self.endpoint.site.execute(marshal_ns, context="proxy")
-        encoded = yield from self.channel.send_call(self.endpoint, call)
+        try:
+            if tel is not None:
+                mspan = tel.begin("marshal", "marshal",
+                                  f"site:{self.endpoint.site.name}",
+                                  parent=root,
+                                  bytes=len(call.encoded_args))
+            yield from self.endpoint.site.execute(marshal_ns,
+                                                  context="proxy")
+            if tel is not None:
+                tel.end(mspan)
+            encoded = yield from self.channel.send_call(self.endpoint, call)
+        finally:
+            if tel is not None:
+                tel.end(root)
         self.invocations += 1
         if call.one_way:
             return None
@@ -101,6 +120,26 @@ class Proxy:
         # one-shot) but reissue() reuses the cached encoded bytes, so a
         # retry pays only the fixed header cost, not the per-byte encode.
         call = make_call(sim, self.interface, method_name, args)
+        tel = sim.telemetry
+        root = None
+        if tel is not None:
+            root = tel.begin(f"{self.interface.name}.{method_name}",
+                             "proxy", f"site:{self.endpoint.site.name}",
+                             method=method_name, one_way=call.one_way,
+                             policy=True)
+            call.trace_ctx = root.context
+        try:
+            result = yield from self._policy_attempts(
+                sim, policy, method_name, call, root)
+            return result
+        finally:
+            if tel is not None:
+                tel.end(root)
+
+    def _policy_attempts(self, sim, policy: CallPolicy, method_name: str,
+                         call: Call, root
+                         ) -> Generator[Event, None, Any]:
+        tel = sim.telemetry
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 call = call.reissue(sim)
@@ -108,7 +147,13 @@ class Proxy:
             else:
                 marshal_ns = _MARSHAL_FIXED_NS + round(
                     len(call.encoded_args) * _MARSHAL_NS_PER_BYTE)
+            if tel is not None:
+                mspan = tel.begin("marshal", "marshal",
+                                  f"site:{self.endpoint.site.name}",
+                                  parent=root, attempt=attempt)
             yield from self.endpoint.site.execute(marshal_ns, context="proxy")
+            if tel is not None:
+                tel.end(mspan)
             outcome: dict = {}
 
             def attempt_body(call: Call = call, outcome: dict = outcome

@@ -538,11 +538,25 @@ class HydraRuntime:
         self.failed_devices.add(name)
         incident = RecoveryIncident(device=name, died_at_ns=self.sim.now)
         self.incidents.append(incident)
-        yield self._recovery_lock.request()
+        tel = self.sim.telemetry
+        span = token = None
+        if tel is not None:
+            span = tel.begin(f"recover.{name}", "recovery",
+                             f"runtime:{self.machine.name}", device=name)
+            token = tel.push_ctx(span.context)
         try:
-            yield from self._recover_device(name, device_runtime, incident)
+            yield self._recovery_lock.request()
+            try:
+                yield from self._recover_device(name, device_runtime,
+                                                incident)
+            finally:
+                self._recovery_lock.release()
         finally:
-            self._recovery_lock.release()
+            if span is not None:
+                tel.pop_ctx(token)
+                tel.end(span, recovered=incident.recovered,
+                        victims=len(incident.victims),
+                        replayed=incident.replayed)
 
     def _recover_device(self, name: str, device_runtime: DeviceRuntime,
                         incident: RecoveryIncident

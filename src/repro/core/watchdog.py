@@ -209,6 +209,12 @@ class DeviceWatchdog:
                 return
             watch.missed += 1
             watch.status = "suspect"
+            tel = self.sim.telemetry
+            if tel is not None:
+                tel.instant("watchdog.miss", "watchdog",
+                            f"watchdog:{watch.name}", device=watch.name,
+                            missed=watch.missed,
+                            threshold=cfg.miss_threshold)
             trace_emit(self.sim, "fault",
                        f"watchdog: {watch.name} missed beat "
                        f"{watch.missed}/{cfg.miss_threshold}",
@@ -221,6 +227,11 @@ class DeviceWatchdog:
     def _declare_dead(self, watch: _DeviceWatch, reason: str) -> None:
         watch.status = "dead"
         watch.declared_dead_at_ns = self.sim.now
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.instant("watchdog.dead", "watchdog",
+                        f"watchdog:{watch.name}", device=watch.name,
+                        reason=reason)
         trace_emit(self.sim, "fault",
                    f"watchdog: declaring {watch.name} dead ({reason})",
                    device=watch.name)

@@ -69,6 +69,7 @@ class ChaosProfile:
     bus_targets: Tuple[str, ...] = ("client",)
     max_bus_transients: int = 3
     checkpoint: bool = True
+    telemetry: bool = False             # attach a repro.telemetry hub
 
 
 def generate_plan(seed: int, profile: Optional[ChaosProfile] = None
@@ -158,7 +159,8 @@ def run_chaos_scenario(seed: int, profile: Optional[ChaosProfile] = None
     plan = generate_plan(seed, profile)
     testbed = Testbed(TestbedConfig(
         seed=seed, fault_plan=plan, watchdog=WatchdogConfig(),
-        checkpoint=CheckpointConfig() if profile.checkpoint else None))
+        checkpoint=CheckpointConfig() if profile.checkpoint else None,
+        telemetry=profile.telemetry))
     testbed.start()
     client = OffloadedClient(testbed, host_fallback=True)
     client.start()

@@ -64,6 +64,11 @@ class FaultInjector:
             try:
                 self._apply(event)
                 self.applied.append(event)
+                tel = self.sim.telemetry
+                if tel is not None:
+                    tel.instant(f"fault.{event.kind.value}", "fault",
+                                "faults", kind=event.kind.value,
+                                target=event.target)
             except Exception as exc:
                 self.skipped.append(event)
                 trace_emit(self.sim, "fault",

@@ -88,6 +88,9 @@ class Bus:
         # which the link layer detects and replays (one extra serialization).
         self._pending_transients = 0
         self.transient_faults = 0
+        # Telemetry track; Machine overrides with its own name so the
+        # per-machine buses (all named "pcie") stay distinguishable.
+        self.telemetry_track = f"bus:{self.spec.name}"
 
     # -- topology ------------------------------------------------------------
 
@@ -205,6 +208,14 @@ class Bus:
     def _single_transfer(self, src: str, dst: str, size_bytes: int,
                          multicast: bool = False
                          ) -> Generator[Event, None, None]:
+        tel = self.sim.telemetry
+        span = None
+        if tel is not None:
+            # Opened before arbitration so the span includes the wait
+            # for the bus, not just the serialization delay.
+            span = tel.begin("bus.transfer", "bus", self.telemetry_track,
+                             parent=tel.current_ctx(), src=src, dst=dst,
+                             bytes=size_bytes)
         yield self._arbiter.request()
         start = self.sim.now
         try:
@@ -222,6 +233,8 @@ class Bus:
                 yield self.sim.delay(self.transfer_time_ns(size_bytes))
         finally:
             self._arbiter.release()
+            if span is not None:
+                tel.end(span)
         self.bytes_moved += size_bytes
         if not multicast:
             self._count(src, dst)

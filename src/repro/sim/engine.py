@@ -435,6 +435,9 @@ class Simulator:
         self._active_process: Optional[Process] = None
         # Optional structured tracing (see repro.sim.trace.Tracer).
         self.tracer = None
+        # Optional telemetry hub (see repro.telemetry.Telemetry); None
+        # keeps every instrumented site at a single attribute check.
+        self.telemetry = None
         # Optional hot-loop profiler (see repro.sim.profile.SimProfiler).
         self._profiler = None
         # Free list of recycled _PooledTimeout instances.

@@ -1,9 +1,22 @@
-"""Structured simulation tracing.
+"""Structured simulation tracing — the thin textual consumer.
 
 Attach a :class:`Tracer` to a simulator (``sim.tracer = Tracer(sim)``)
-and instrumented subsystems — channels, Offcode lifecycle, the
-deployment pipeline — emit timestamped records.  Tracing is off by
-default and costs one attribute check per emit site when disabled.
+and every :func:`emit` site produces timestamped records.  Emit sites
+live where the offload path does work: channel writes, retransmits and
+in-flight faults (``repro.core.channel``), proxy deadline misses
+(``repro.core.proxy``), watchdog beats and death declarations
+(``repro.core.watchdog``), recovery (``repro.core.runtime``), bus
+transients (``repro.hw.bus``) and fault injection
+(``repro.faults.injector``).  Tracing is off by default and costs one
+attribute check per emit site when disabled.
+
+Since the telemetry subsystem landed, :func:`emit` routes through
+``sim.telemetry`` when one is attached: the hub forwards each record to
+the tracer (this API is unchanged) *and* keeps it as a zero-duration
+instant alongside the causal span tree, so textual emits appear in
+exported Perfetto traces.  :class:`Tracer` itself stays a bounded
+buffer of :class:`TraceRecord` — a consumer, not the instrumentation
+layer.
 
 >>> from repro.sim import Simulator, Tracer
 >>> sim = Simulator()
@@ -114,7 +127,16 @@ class Tracer:
 
 
 def emit(sim, category: str, message: str, **fields: Any) -> None:
-    """Module-level helper: emit if (and only if) ``sim`` has a tracer."""
+    """Module-level helper: emit if ``sim`` has a telemetry hub or tracer.
+
+    A telemetry hub takes precedence and forwards to the tracer itself
+    (one record either way); with neither attached this is a pair of
+    attribute checks and a return.
+    """
+    telemetry = getattr(sim, "telemetry", None)
+    if telemetry is not None:
+        telemetry.log(category, message, **fields)
+        return
     tracer = getattr(sim, "tracer", None)
     if tracer is not None:
         tracer.emit(category, message, **fields)

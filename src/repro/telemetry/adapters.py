@@ -1,0 +1,218 @@
+"""Adapters absorbing the repo's scattered counters into the registry.
+
+Instrumentation grew up in four ad-hoc places — :class:`ChannelStats`
+snapshots, ``marshal.stats``, :class:`RecoveryIncident` lists, bus
+crossing dicts — each with its own access idiom.  The adapters here
+leave those counters authoritative (no behaviour change, no hot-path
+cost) and register scrape-time *collectors* that mirror them into a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, so one
+``registry.snapshot()`` carries the whole quantitative state of a run.
+
+The channel conservation law (``sent == delivered + dropped``) becomes a
+first-class metric here: every channel exports its imbalance as a gauge
+and rel-armed channels are checked against the chaos soak's slack rule
+(:func:`check_channel_conservation`), with the violation count exported
+per runtime.
+
+Collectors read live objects lazily at collect time, so channels or
+watchdogs created *after* binding are picked up automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import marshal
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["bind_marshal", "bind_bus", "bind_runtime", "bind_injector",
+           "bind_testbed", "check_channel_conservation"]
+
+_CHANNEL_COUNTERS = (
+    ("repro_channel_sent_total", "sent", "Messages sent (wire attempts)"),
+    ("repro_channel_delivered_total", "delivered",
+     "Messages delivered to receivers"),
+    ("repro_channel_dropped_total", "dropped",
+     "Messages lost, mangled or duplicate-suppressed in flight"),
+    ("repro_channel_corrupted_total", "corrupted",
+     "Messages corrupted in flight"),
+    ("repro_channel_bytes_total", "bytes", "Payload bytes sent"),
+    ("repro_channel_batches_total", "batches", "Vectored batches sent"),
+    ("repro_channel_retransmits_total", "retransmits",
+     "Reliable-protocol retransmissions"),
+    ("repro_channel_dup_dropped_total", "dup_dropped",
+     "Duplicate frames suppressed by the receiver"),
+)
+
+
+def bind_marshal(registry: MetricsRegistry) -> None:
+    """Export ``marshal.stats`` encode/decode counts.
+
+    ``marshal.stats`` is process-global, so a baseline is captured at
+    bind time and the registry exports the *delta* — keeping snapshots
+    of a seeded run identical however many runs preceded it in the same
+    interpreter.
+    """
+    base_encodes = marshal.stats.encodes
+    base_decodes = marshal.stats.decodes
+    encodes = registry.counter(
+        "repro_marshal_encodes_total",
+        help="Full argument serializations since telemetry bind")
+    decodes = registry.counter(
+        "repro_marshal_decodes_total",
+        help="Argument deserializations since telemetry bind")
+
+    def collect(_registry: MetricsRegistry) -> None:
+        encodes.set_total(marshal.stats.encodes - base_encodes)
+        decodes.set_total(marshal.stats.decodes - base_decodes)
+
+    registry.register_collector(collect)
+
+
+def bind_bus(registry: MetricsRegistry, bus, name: str) -> None:
+    """Export one bus's movement counters under the ``bus`` label."""
+    bytes_moved = registry.counter(
+        "repro_bus_bytes_moved_total", help="Bytes moved over the bus",
+        labels=("bus",)).labels(bus=name)
+    transfers = registry.counter(
+        "repro_bus_transfers_total", help="Completed bus transactions",
+        labels=("bus",)).labels(bus=name)
+    sg_transfers = registry.counter(
+        "repro_bus_sg_transfers_total",
+        help="Scatter-gather transactions", labels=("bus",)).labels(bus=name)
+    transients = registry.counter(
+        "repro_bus_transient_faults_total",
+        help="Injected transient faults replayed on the bus",
+        labels=("bus",)).labels(bus=name)
+
+    def collect(_registry: MetricsRegistry) -> None:
+        bytes_moved.set_total(bus.bytes_moved)
+        transfers.set_total(sum(bus.crossings.values()))
+        sg_transfers.set_total(bus.sg_transfers)
+        transients.set_total(bus.transient_faults)
+
+    registry.register_collector(collect)
+
+
+def check_channel_conservation(executive) -> List[str]:
+    """The conservation law as a checkable predicate.
+
+    Mirrors the chaos soak's oracle: on every noise-armed reliable
+    channel ``sent - (delivered + dropped)`` must be 0, with one frame
+    of slack on a channel torn down mid-flight.  Returns human-readable
+    violations (empty = law holds).
+    """
+    violations: List[str] = []
+    for channel in executive.channels:
+        if channel._rel is None:
+            continue
+        stats = channel.stats()
+        imbalance = stats.sent - (stats.delivered + stats.dropped)
+        slack = 1 if channel.closed else 0
+        if not 0 <= imbalance <= slack:
+            violations.append(
+                f"channel #{stats.channel_id} ({stats.label!r}) leaks "
+                f"accounting: sent={stats.sent} "
+                f"delivered={stats.delivered} dropped={stats.dropped}")
+        if stats.corrupted + stats.dup_dropped > stats.dropped:
+            violations.append(
+                f"channel #{stats.channel_id} ({stats.label!r}) drop "
+                "breakdown exceeds total drops")
+    return violations
+
+
+def bind_runtime(registry: MetricsRegistry, runtime, name: str) -> None:
+    """Export one HYDRA runtime: channels, conservation, recovery,
+    watchdog.
+
+    Channels are enumerated at collect time, so channels created after
+    binding (recovery replacements included) appear automatically.
+    """
+    channel_labels = ("runtime", "channel", "label")
+    families = [(registry.counter(metric, help=help_text,
+                                  labels=channel_labels), attr)
+                for metric, attr, help_text in _CHANNEL_COUNTERS]
+    imbalance_gauge = registry.gauge(
+        "repro_channel_conservation_imbalance",
+        help="sent - (delivered + dropped); in-flight frames on "
+             "unreliable or multicast channels keep this non-zero",
+        labels=channel_labels)
+    violation_gauge = registry.gauge(
+        "repro_channel_conservation_violations",
+        help="Rel-armed channels violating the conservation law",
+        labels=("runtime",)).labels(runtime=name)
+    incident_gauge = registry.gauge(
+        "repro_recovery_incidents",
+        help="Device-failure incidents by outcome",
+        labels=("runtime", "state"))
+    replayed = registry.counter(
+        "repro_recovery_replayed_total",
+        help="Unacked messages replayed on replacement channels",
+        labels=("runtime",)).labels(runtime=name)
+    beats = registry.counter(
+        "repro_watchdog_beats_total",
+        help="Completed heartbeat rounds", labels=("runtime", "device"))
+    missed = registry.gauge(
+        "repro_watchdog_missed_beats",
+        help="Consecutive missed heartbeats (0 = healthy)",
+        labels=("runtime", "device"))
+
+    def collect(_registry: MetricsRegistry) -> None:
+        for channel in runtime.executive.channels:
+            stats = channel.stats()
+            labels = {"runtime": name,
+                      "channel": str(stats.channel_id),
+                      "label": stats.label}
+            for family, attr in families:
+                family.labels(**labels).set_total(getattr(stats, attr))
+            imbalance_gauge.labels(**labels).set(
+                stats.sent - (stats.delivered + stats.dropped))
+        violation_gauge.set(
+            len(check_channel_conservation(runtime.executive)))
+        counts = {"recovered": 0, "failed": 0, "pending": 0}
+        total_replayed = 0
+        for incident in runtime.incidents:
+            if incident.recovered:
+                counts["recovered"] += 1
+            elif incident.failed:
+                counts["failed"] += 1
+            else:
+                counts["pending"] += 1
+            total_replayed += incident.replayed
+        for state, count in counts.items():
+            incident_gauge.labels(runtime=name, state=state).set(count)
+        replayed.set_total(total_replayed)
+        watchdog = runtime.watchdog
+        if watchdog is not None:
+            for device, watch in watchdog._watches.items():
+                beats.labels(runtime=name, device=device).set_total(
+                    watch.beats)
+                missed.labels(runtime=name, device=device).set(watch.missed)
+
+    registry.register_collector(collect)
+
+
+def bind_injector(registry: MetricsRegistry, injector) -> None:
+    """Export the fault injector's applied/skipped schedule progress."""
+    counts = registry.counter(
+        "repro_faults_total", help="Scheduled fault events by outcome",
+        labels=("outcome",))
+    applied = counts.labels(outcome="applied")
+    skipped = counts.labels(outcome="skipped")
+
+    def collect(_registry: MetricsRegistry) -> None:
+        applied.set_total(len(injector.applied))
+        skipped.set_total(len(injector.skipped))
+
+    registry.register_collector(collect)
+
+
+def bind_testbed(registry: MetricsRegistry, testbed) -> None:
+    """Bind every observable subsystem of a TiVoPC testbed."""
+    bind_marshal(registry)
+    for host in (testbed.nas, testbed.server, testbed.client):
+        bind_bus(registry, host.machine.bus, host.name)
+    bind_runtime(registry, testbed.server_runtime, "server")
+    bind_runtime(registry, testbed.client_runtime, "client")
+    if testbed.fault_injector is not None:
+        bind_injector(registry, testbed.fault_injector)

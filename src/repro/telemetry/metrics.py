@@ -1,0 +1,307 @@
+"""A small labelled-metrics registry (Counter / Gauge / Histogram).
+
+The repo's counters grew up scattered: :class:`ChannelStats` snapshots,
+``marshal.stats.encodes``, bus crossing dicts, recovery incident lists.
+This registry gives them one home with Prometheus-compatible semantics
+so a run's whole quantitative state exports from a single object.
+
+Two usage styles:
+
+* **direct** — code owns a metric and mutates it inline::
+
+      calls = registry.counter("repro_calls_total", labels=("method",))
+      calls.labels(method="Nop").inc()
+
+* **absorbed** — an adapter (:mod:`repro.telemetry.adapters`) registers
+  a *collector* that, at scrape time, copies an existing ad-hoc counter
+  into the registry (``Counter.set_total``).  The legacy counter stays
+  authoritative; the registry is the uniform read side.
+
+No wall-clock anywhere: values come from simulation state, so snapshots
+of a seeded run are deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricFamily",
+           "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Generic duration-ish buckets; span histograms pass their own.
+DEFAULT_BUCKETS = (1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+                   100_000_000, 1_000_000_000)
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("_value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ReproError(f"counter increment must be >= 0: {amount}")
+        self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Absorb an externally-maintained cumulative total.
+
+        For adapter collectors mirroring legacy counters; the new total
+        must not regress (counters only go up).
+        """
+        if value < self._value:
+            raise ReproError(
+                f"counter total regressed: {self._value} -> {value}")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        """Current cumulative total."""
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount``."""
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract ``amount``."""
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+
+class Histogram:
+    """A bucketed distribution with sum and count."""
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+    kind = "histogram"
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self._counts = [0] * (len(buckets) + 1)   # last = +Inf overflow
+        self._sum = 0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._counts[bisect.bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        return self._sum
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` pairs ending at
+        ``+Inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), self._count))
+        return out
+
+
+class MetricFamily:
+    """One named metric and its labelled children."""
+
+    def __init__(self, name: str, kind: str, help: str,
+                 label_names: Tuple[str, ...],
+                 buckets: Optional[Tuple[float, ...]] = None) -> None:
+        if not _NAME_RE.match(name):
+            raise ReproError(f"invalid metric name: {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ReproError(f"invalid label name: {label!r}")
+        if len(set(label_names)) != len(label_names):
+            raise ReproError(f"duplicate label names: {label_names}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self.buckets = buckets
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def _make_child(self) -> Any:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets or DEFAULT_BUCKETS)
+
+    def labels(self, **labels: Any) -> Any:
+        """The child for one label combination (created on first use)."""
+        if set(labels) != set(self.label_names):
+            raise ReproError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}")
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self) -> Any:
+        if self.label_names:
+            raise ReproError(
+                f"{self.name} is labelled {self.label_names}; "
+                "call .labels(...) first")
+        return self.labels()
+
+    # Label-less families act directly as their single child.
+
+    def inc(self, amount: float = 1) -> None:
+        """Counter/gauge convenience on a label-less family."""
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        """Gauge convenience on a label-less family."""
+        self._default_child().dec(amount)
+
+    def set(self, value: float) -> None:
+        """Gauge convenience on a label-less family."""
+        self._default_child().set(value)
+
+    def set_total(self, value: float) -> None:
+        """Counter-absorption convenience on a label-less family."""
+        self._default_child().set_total(value)
+
+    def observe(self, value: float) -> None:
+        """Histogram convenience on a label-less family."""
+        self._default_child().observe(value)
+
+    @property
+    def value(self) -> float:
+        """Current value of a label-less counter/gauge family."""
+        return self._default_child().value
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """``(label values, child)`` pairs in sorted label order."""
+        return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Named metric families plus scrape-time collectors."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    def _get_or_create(self, name: str, kind: str, help: str,
+                       labels: Iterable[str],
+                       buckets: Optional[Tuple[float, ...]] = None
+                       ) -> MetricFamily:
+        label_names = tuple(labels)
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.label_names != label_names:
+                raise ReproError(
+                    f"metric {name!r} already registered as "
+                    f"{family.kind}{family.label_names}, requested "
+                    f"{kind}{label_names}")
+            return family
+        family = MetricFamily(name, kind, help, label_names, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Iterable[str] = ()) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._get_or_create(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Iterable[str] = ()) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._get_or_create(name, "gauge", help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Iterable[str] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+                  ) -> MetricFamily:
+        """Register (or fetch) a histogram family."""
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ReproError(
+                f"histogram buckets must be sorted and unique: {buckets}")
+        return self._get_or_create(name, "histogram", help, labels,
+                                   tuple(buckets))
+
+    def get(self, name: str) -> MetricFamily:
+        """Existing family by name (ReproError if absent)."""
+        try:
+            return self._families[name]
+        except KeyError:
+            raise ReproError(f"no metric registered as {name!r}") from None
+
+    def register_collector(
+            self, collector: Callable[["MetricsRegistry"], None]) -> None:
+        """Add a scrape-time refresher (adapters absorbing legacy
+        counters register one per bound subsystem)."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run every collector so absorbed metrics reflect live state."""
+        for collector in self._collectors:
+            collector(self)
+
+    def families(self) -> List[MetricFamily]:
+        """All families, sorted by name (export order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Machine-readable dump of every family (collectors run first)."""
+        self.collect()
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            samples = []
+            for label_values, child in family.samples():
+                labels = dict(zip(family.label_names, label_values))
+                if family.kind == "histogram":
+                    samples.append({
+                        "labels": labels, "count": child.count,
+                        "sum": child.sum,
+                        "buckets": [[le, n] for le, n in child.cumulative()
+                                    if le != float("inf")],
+                    })
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[family.name] = {"type": family.kind, "help": family.help,
+                                "samples": samples}
+        return out

@@ -76,6 +76,11 @@ class TestbedConfig:
     # into their depot stores so recovery can restore rather than
     # cold-start.
     checkpoint: Optional[CheckpointConfig] = None
+    # End-to-end tracing + metrics (repro.telemetry): attaches a
+    # Telemetry hub to the simulator and binds every subsystem's
+    # counters into its registry.  Off by default — the disabled path
+    # costs one attribute check per instrumented site.
+    telemetry: bool = False
 
 
 @dataclass
@@ -151,6 +156,16 @@ class Testbed:
                 executives=[self.server_runtime.executive,
                             self.client_runtime.executive],
                 rng=self.rng.stream("faults"))
+
+        # Telemetry hub (lazy import keeps the untraced path free of the
+        # subsystem entirely).  Bound last: the adapters enumerate the
+        # runtimes, buses and injector built above.
+        self.telemetry = None
+        if self.config.telemetry:
+            from repro.telemetry import Telemetry
+            from repro.telemetry.adapters import bind_testbed
+            self.telemetry = Telemetry.attach(self.sim)
+            bind_testbed(self.telemetry.registry, self)
 
     # -- construction helpers ------------------------------------------------------
 
