@@ -174,6 +174,45 @@ def bench_retransmit_path() -> Dict[str, float]:
     }
 
 
+def bench_migration_downtime() -> Dict[str, float]:
+    """Live-migration cutover cost: the drain scenario's blackout window.
+
+    Runs the chaos ``drain`` preset (offloaded pipeline, channel noise,
+    standby NIC) and migrates the network Streamer onto ``nic1``
+    mid-stream.  ``downtime_ns`` is the simulated quiesce→restore
+    window during which the proxy gate holds callers — the number the
+    paper's availability story turns on — and the exactly-once evidence
+    (chunks handled vs packets sent) is recorded alongside it.  The
+    simulated work is seeded, so every field except wall-clock is
+    byte-stable.
+    """
+    from dataclasses import replace
+    from repro.faults.chaos import PROFILES, run_chaos_scenario
+
+    profile = replace(PROFILES["drain"], seconds=MICRO_SECONDS)
+    start = time.perf_counter()
+    run = run_chaos_scenario(0, profile)
+    wall_s = time.perf_counter() - start
+    sim = run.testbed.sim
+    record = run.migration.get("record")
+    sent = run.server.packets_sent
+    handled = run.client.chunks_received
+    return {
+        "wall_s": wall_s,
+        "sim_ns": sim.now,
+        "events": sim.events_processed,
+        "events_per_sec": sim.events_processed / wall_s if wall_s else 0.0,
+        "pool_recycled": sim.pool_recycled,
+        "downtime_ns": (record.downtime_ns if record is not None
+                        and record.downtime_ns is not None else -1),
+        "migration_replayed": record.replayed if record else -1,
+        "migration_shed": record.shed if record else -1,
+        "packets_sent": sent,
+        "chunks_received": handled,
+        "exactly_once": 1 if sent == handled else 0,
+    }
+
+
 def bench_timeout_storm() -> Dict[str, float]:
     """Pure event-loop throughput: 64 processes trading pooled timeouts.
 
@@ -204,6 +243,7 @@ def bench_timeout_storm() -> Dict[str, float]:
 BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
     "engine_micro_tivopc": bench_engine_micro_tivopc,
     "engine_micro_telemetry": bench_engine_micro_telemetry,
+    "migration_downtime": bench_migration_downtime,
     "offloaded_tivopc": bench_offloaded_tivopc,
     "retransmit_path": bench_retransmit_path,
     "timeout_storm": bench_timeout_storm,

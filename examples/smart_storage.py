@@ -123,9 +123,9 @@ def _host_only(runtime):
     original = runtime.resolver.build_graph
 
     def patched(documents, force_host_option=False, pinned=None,
-                exclude=None):
+                exclude=None, banned=None):
         graph = original(documents, force_host_option=True, pinned=pinned,
-                         exclude=exclude)
+                         exclude=exclude, banned=banned)
         for node in graph.nodes.values():
             node.compat = (True,) + (False,) * (graph.num_devices - 1)
         return graph

@@ -27,7 +27,11 @@ The surface groups by concern:
 * **Fault injection & recovery** — :class:`FaultPlan`,
   :class:`FaultInjector`, the device watchdog, periodic checkpointing
   (:class:`CheckpointConfig`) and the seeded chaos soak
-  (:func:`run_chaos_scenario`, :func:`soak`).
+  (:func:`run_chaos_scenario`, :func:`soak`, the named ``PROFILES``).
+* **Resilience** — live offcode migration
+  (:meth:`HydraRuntime.migrate`, :class:`MigrationRecord`) and the
+  self-healing supervisor (:class:`SupervisorConfig`,
+  :class:`AdmissionController`).
 * **Telemetry** — the :class:`Telemetry` hub (causal spans +
   :class:`MetricsRegistry`); exporters live in
   :mod:`repro.telemetry.export`.
@@ -149,10 +153,20 @@ from repro.core.checkpoint import (
 from repro.core.watchdog import DeviceWatchdog, WatchdogConfig
 from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.faults.chaos import (
+    PROFILES,
     ChaosProfile,
     ChaosReport,
     run_chaos_scenario,
     soak,
+)
+
+# -- resilience: live migration and self-healing -----------------------------------------
+from repro.resilience import (
+    AdmissionController,
+    HoldingGate,
+    MigrationRecord,
+    Supervisor,
+    SupervisorConfig,
 )
 
 # -- telemetry ---------------------------------------------------------------------------
@@ -181,10 +195,12 @@ from repro.tivopc import (
 
 # -- errors ------------------------------------------------------------------------------
 from repro.errors import (
+    AdmissionShedError,
     ChannelError,
     DeploymentError,
     DeviceFailedError,
     HydraError,
+    MigrationError,
     OffloadTimeoutError,
     ProviderError,
     RetryBudgetExceededError,
@@ -293,9 +309,16 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
+    "PROFILES",
     "WatchdogConfig",
     "run_chaos_scenario",
     "soak",
+    # resilience: live migration and self-healing
+    "AdmissionController",
+    "HoldingGate",
+    "MigrationRecord",
+    "Supervisor",
+    "SupervisorConfig",
     # telemetry
     "MetricsRegistry",
     "Span",
@@ -315,10 +338,12 @@ __all__ = [
     "TestbedConfig",
     "UserSpaceClient",
     # errors
+    "AdmissionShedError",
     "ChannelError",
     "DeploymentError",
     "DeviceFailedError",
     "HydraError",
+    "MigrationError",
     "OffloadTimeoutError",
     "ProviderError",
     "RetryBudgetExceededError",

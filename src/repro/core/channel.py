@@ -25,11 +25,13 @@ The transfer cost itself comes from the channel's *provider*
 from __future__ import annotations
 
 import enum
+import random
 import warnings
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Generator, List, Optional
 
-from repro.errors import ChannelClosedError, ChannelError
+from repro.errors import (AdmissionShedError, ChannelClosedError,
+                          ChannelError)
 from repro.core.call import Call, CallBatch
 from repro.core.sites import ExecutionSite
 from repro.sim.engine import Event
@@ -272,6 +274,15 @@ class RetransmitConfig:
     acks ride reverse traffic and cost ``ack_bytes`` on the wire; they
     traverse the same lossy medium, so a lost ack produces a duplicate
     data frame the receiver suppresses (``dup_dropped``).
+
+    ``jitter`` (0..1) blends decorrelated jitter into the backoff: 0
+    (the default) keeps the classic deterministic schedule byte-for-byte;
+    1 is fully decorrelated (``uniform(base, 3 * previous_delay)``,
+    capped).  Any amount breaks the retransmit synchronization of
+    channels that lost frames to the same burst — without it every
+    victim retries on the same schedule and collides again.  The
+    randomness is drawn from the simulation's seeded RNG streams, so
+    runs stay reproducible.
     """
 
     timeout_ns: int = 200_000
@@ -280,6 +291,7 @@ class RetransmitConfig:
     max_attempts: int = 64
     window: int = 16
     ack_bytes: int = 16
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.timeout_ns <= 0:
@@ -292,6 +304,9 @@ class RetransmitConfig:
         if self.window <= 0:
             raise ChannelError(
                 f"retransmit window must be positive: {self.window}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ChannelError(
+                f"retransmit jitter must be in [0, 1]: {self.jitter}")
 
 
 @dataclass(frozen=True)
@@ -578,6 +593,11 @@ class Channel:
         # Protocol state, armed lazily when a fault filter lands on a
         # RELIABLE channel (None = guaranteed medium, fast path).
         self._rel: Optional[_ReliableState] = None
+        # Admission controller stamped by the executive (None = no
+        # shedding); decorrelated-jitter state, armed on first use.
+        self._admission = None
+        self._backoff_prev_ns: Optional[int] = None
+        self._backoff_rng = None
         # Fault-injection hook: payload -> "drop" | "corrupt" | None.
         self._fault_filter: Optional[Callable[[Message], Optional[str]]] = None
         self._sequencer: Optional[Resource] = (
@@ -752,10 +772,37 @@ class Channel:
     # -- the earned-reliability path -----------------------------------------------------
 
     def _reliable_backoff_ns(self, attempt: int) -> int:
-        """Capped exponential retransmit delay after ``attempt`` failures."""
+        """Capped exponential retransmit delay after ``attempt`` failures.
+
+        With ``jitter`` configured, the deterministic schedule is
+        blended with a *decorrelated* draw — ``uniform(base, 3 *
+        previous_delay)`` — so channels that lost frames to the same
+        burst do not retry in lockstep and collide again.  The draw
+        comes from a per-channel stream of the simulation's seeded RNG
+        (``sim.rng_streams``) when one is installed, falling back to a
+        channel-id-seeded generator, so runs stay reproducible either
+        way.
+        """
         cfg = self._rel.config
         delay = cfg.timeout_ns * (cfg.backoff_factor ** max(0, attempt - 1))
-        return max(1, min(int(delay), cfg.max_timeout_ns))
+        delay = max(1, min(int(delay), cfg.max_timeout_ns))
+        if cfg.jitter <= 0.0:
+            return delay
+        rng = self._backoff_rng
+        if rng is None:
+            sim = self.creator_endpoint.site.sim
+            streams = getattr(sim, "rng_streams", None)
+            if streams is not None:
+                rng = streams.stream(f"backoff/{self.channel_id}")
+            else:
+                rng = random.Random(0x0FF10AD ^ self.channel_id)
+            self._backoff_rng = rng
+        prev = self._backoff_prev_ns or cfg.timeout_ns
+        decorrelated = rng.uniform(float(cfg.timeout_ns), 3.0 * prev)
+        blended = int((1.0 - cfg.jitter) * delay + cfg.jitter * decorrelated)
+        blended = max(1, min(blended, cfg.max_timeout_ns))
+        self._backoff_prev_ns = blended
+        return blended
 
     def _reliable_write_from(self, source: Endpoint, payload: Any,
                              size_bytes: int
@@ -1069,7 +1116,20 @@ class Channel:
         Calls always take the direct path (the caller is blocked on the
         reply).  Returns the *encoded* result; proxies decode it against
         the interface spec.
+
+        While admission control is engaged (supervisor brownout policy),
+        calls on channels below the protected priority are refused here
+        with :class:`~repro.errors.AdmissionShedError` — shedding at the
+        submission edge keeps the backlog from outliving the brownout.
+        Raw ``endpoint.write`` traffic (OOB, checkpoints, the data
+        plane) never passes through this path and is never shed.
         """
+        if (self._admission is not None
+                and not self._admission.admit(self.config.priority)):
+            raise AdmissionShedError(
+                f"call {call.method} shed on channel #{self.channel_id} "
+                f"(priority {self.config.priority} below protected class)",
+                priority=self.config.priority)
         if call.one_way and self.batcher is not None:
             coalesced = yield from self.batcher.offer(source, call,
                                                       call.size_bytes)

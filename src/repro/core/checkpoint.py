@@ -32,7 +32,7 @@ from repro.sim.engine import Event
 from repro.sim.trace import emit as trace_emit
 
 __all__ = ["Checkpoint", "CheckpointConfig", "CheckpointService",
-           "CheckpointStore"]
+           "CheckpointStore", "checkpointable", "capture_checkpoint"]
 
 
 @dataclass(frozen=True)
@@ -105,6 +105,47 @@ class CheckpointStore:
 def checkpointable(offcode: Offcode) -> bool:
     """True when ``offcode``'s class opted into the snapshot contract."""
     return type(offcode).snapshot is not Offcode.snapshot
+
+
+def capture_checkpoint(runtime, offcode: Offcode,
+                       config: Optional[CheckpointConfig] = None
+                       ) -> Generator[Event, None, Any]:
+    """On-demand synchronous snapshot, for the live-migration path.
+
+    Unlike the periodic service, the caller here is the host-side
+    runtime holding the offcode quiesced: the snapshot cost is charged
+    on the offcode's site, but the state is saved into the host store
+    directly (the orchestrator reads it through the management path —
+    no OOB hop to lose mid-cutover).  The sequence number is bumped past
+    whatever the store holds, so the migration snapshot always wins over
+    an older periodic one, and the periodic service's next shipment
+    (one past its own counter) still lands.
+
+    Returns the captured state, or ``None`` when the offcode does not
+    participate in the snapshot contract (cold migration).
+    """
+    if not checkpointable(offcode):
+        return None
+    if config is None:
+        service = getattr(runtime, "checkpointer", None)
+        config = service.config if service is not None else CheckpointConfig()
+    yield from offcode.site.execute(
+        config.snapshot_cost_ns,
+        context=f"{offcode.bindname}-migrate-snapshot")
+    state = offcode.snapshot()
+    if state is None:
+        return None
+    store: CheckpointStore = runtime.depot.checkpoints
+    latest = store.latest(offcode.bindname)
+    seq = (latest.seq if latest is not None else 0) + 1
+    try:
+        size = config.header_bytes + len(marshal.encode(state))
+    except Exception:
+        size = config.header_bytes + 256
+    store.save(Checkpoint(
+        bindname=offcode.bindname, seq=seq,
+        taken_at_ns=runtime.sim.now, state=state, size_bytes=size))
+    return state
 
 
 class CheckpointService:

@@ -107,7 +107,10 @@ class DeploymentPipeline:
                                         objective=objective))
 
     def _deploy(self, documents: List[OdfDocument], roots: List[str],
-                objective: Optional[Objective]
+                objective: Optional[Objective],
+                pinned_extra: Optional[Dict[str, str]] = None,
+                allow: Optional[set] = None,
+                banned: Optional[Dict[str, tuple]] = None
                 ) -> Generator[Event, None, DeploymentReport]:
         runtime = self.runtime
         sim = runtime.sim
@@ -117,7 +120,19 @@ class DeploymentPipeline:
         # Devices the watchdog has declared dead are excluded from the
         # candidate set; a non-empty exclusion also marks the solve as
         # degraded (recovery may drop mandatory co-location constraints).
-        exclude = sorted(getattr(runtime, "failed_devices", None) or ())
+        # Standby and quarantined devices are excluded too, but only
+        # failures and quarantines make the solve *degraded* — a healthy
+        # spare sitting idle must not change baseline solver behaviour.
+        # ``allow`` re-admits named devices for this solve (migration
+        # pinning onto a standby spare); ``banned`` forbids specific
+        # bindname→device pairings (migration away from a live source);
+        # ``pinned_extra`` pins bindnames that have no current placement
+        # (the victim was torn down just before the re-solve).
+        failed = set(getattr(runtime, "failed_devices", None) or ())
+        quarantined = set(getattr(runtime, "quarantined_devices", None) or ())
+        standby = set(getattr(runtime, "standby_devices", None) or ())
+        degraded_set = failed | quarantined
+        exclude = sorted((degraded_set | standby) - (allow or set()))
         # A pin on an excluded device would make every layout infeasible.
         # That happens during overlapping recoveries: incident #2's solve
         # sees survivors of incident #1 still registered on a device that
@@ -130,9 +145,14 @@ class DeploymentPipeline:
         }
         pinned = {bindname: location for bindname, location in pinned.items()
                   if location not in excluded_devices}
+        if pinned_extra:
+            for bindname, location in pinned_extra.items():
+                if location not in excluded_devices:
+                    pinned.setdefault(bindname, location)
         layout = runtime.resolver.resolve(documents, objective=objective,
                                           pinned=pinned, exclude=exclude,
-                                          degraded=bool(exclude))
+                                          degraded=bool(degraded_set),
+                                          banned=banned)
         # A re-solve can move Offcodes between sites, so every memoized
         # provider ranking is suspect: retire the executive's cost cache
         # by advancing the layout epoch.

@@ -277,6 +277,16 @@ class ChannelExecutive:
         self.layout_epoch = 0
         self.cost_cache_hits = 0
         self.cost_cache_misses = 0
+        # Priority-aware admission control (the supervisor's brownout
+        # lever).  Stamped onto every channel at creation; None = no
+        # shedding, ever.
+        self.admission = None
+
+    def set_admission(self, controller) -> None:
+        """Attach an admission controller to present and future channels."""
+        self.admission = controller
+        for channel in self.channels:
+            channel._admission = controller
 
     # -- providers -----------------------------------------------------------------
 
@@ -346,6 +356,7 @@ class ChannelExecutive:
         if config.batch is not None:
             channel.batcher = ChannelBatcher(channel, creator_site.sim,
                                              config.batch)
+        channel._admission = self.admission
         self.channels.append(channel)
         return channel
 

@@ -69,7 +69,9 @@ class OffloadLayoutResolver:
     def build_graph(self, documents: Sequence[OdfDocument],
                     force_host_option: bool = False,
                     pinned: Optional[Dict[str, str]] = None,
-                    exclude: Optional[Iterable[str]] = None) -> LayoutGraph:
+                    exclude: Optional[Iterable[str]] = None,
+                    banned: Optional[Dict[str, Iterable[str]]] = None
+                    ) -> LayoutGraph:
         """One node per document, edges from the ODF import references.
 
         ``pinned`` fixes the placement of already-deployed Offcodes:
@@ -80,6 +82,13 @@ class OffloadLayoutResolver:
         ``exclude`` removes devices from the candidate set entirely —
         the recovery path uses it to re-solve a layout with a crashed
         device gone, as if it were never installed.
+
+        ``banned`` forbids specific bindname→device pairings without
+        touching the global candidate set — live migration bans the
+        victim from its (healthy, still-serving-others) source device,
+        where ``exclude`` would wrongly evict every co-tenant too.
+        Bans are ignored for pinned bindnames: a pin is an explicit,
+        stronger statement of intent.
         """
         excluded = frozenset(exclude or ())
         devices = ["host"] + sorted(
@@ -87,6 +96,7 @@ class OffloadLayoutResolver:
         graph = LayoutGraph(devices)
         by_bindname = {d.bindname: d for d in documents}
         pinned = pinned or {}
+        banned = banned or {}
         for document in documents:
             if document.bindname in pinned:
                 location = pinned[document.bindname]
@@ -100,6 +110,10 @@ class OffloadLayoutResolver:
                 for device_name in devices[1:]:
                     compat.append(self._device_allowed(
                         document, self.machine.devices[device_name]))
+                banned_here = frozenset(banned.get(document.bindname, ()))
+                if banned_here:
+                    compat = [ok and device not in banned_here
+                              for ok, device in zip(compat, devices)]
             graph.add_node(document.bindname, compat,
                            price=float(document.image_bytes) / 1024.0)
         for document in documents:
@@ -139,7 +153,9 @@ class OffloadLayoutResolver:
                 objective: Optional[Objective] = None,
                 pinned: Optional[Dict[str, str]] = None,
                 exclude: Optional[Iterable[str]] = None,
-                degraded: bool = False) -> ResolvedLayout:
+                degraded: bool = False,
+                banned: Optional[Dict[str, Iterable[str]]] = None
+                ) -> ResolvedLayout:
         """Full pipeline: graph, solve, relax, host-fallback.
 
         ``degraded`` marks a post-failure re-solve: the final host
@@ -152,7 +168,7 @@ class OffloadLayoutResolver:
         objective = objective or MaximizeOffloading()
         try:
             graph = self.build_graph(documents, pinned=pinned,
-                                     exclude=exclude)
+                                     exclude=exclude, banned=banned)
         except LayoutError:
             # Some Offcode matches no installed device; fall through to
             # the host-fallback attempt below.
@@ -180,7 +196,7 @@ class OffloadLayoutResolver:
         try:
             fallback_graph = self.build_graph(
                 documents, force_host_option=True, pinned=pinned,
-                exclude=exclude)
+                exclude=exclude, banned=banned)
         except LayoutError as exc:
             raise InfeasibleLayoutError(
                 f"no feasible layout even with host fallback: {exc}"

@@ -213,6 +213,19 @@ class Offcode:
         """
         self.management_events.append(event)
 
+    def prepare_migrate(self) -> Generator[Event, None, None]:
+        """Cooperative quiesce hook for live migration (override freely).
+
+        The runtime calls this (bounded by the migration's prepare
+        timeout) before checkpointing: a subclass with a thread of
+        control should park it at a consistent point — between work
+        items, with no partially-sent message — so the drain that
+        follows empties every unacked queue and the cutover is
+        exactly-once.  The base class has nothing to park.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator
+
     # -- checkpoint/restore contract ----------------------------------------------------
 
     def snapshot(self) -> Optional[Any]:

@@ -63,10 +63,24 @@ class Proxy:
         self.policy = policy
         self.invocations = 0
         self.timeouts = 0
+        # Migration fence: while a HoldingGate is installed, invoke()
+        # parks here before touching the channel (the runtime swaps the
+        # channel out underneath the gate during a live migration).
+        self.gate = None
 
     def set_policy(self, policy: Optional[CallPolicy]) -> None:
         """Install (or clear) the deadline/retry policy for this proxy."""
         self.policy = policy
+
+    def rebind(self, channel: Channel) -> None:
+        """Point this proxy at a replacement channel (live migration).
+
+        The new channel's creator endpoint must live on the same site as
+        the old one: callers holding this proxy keep their site affinity
+        and never observe the swap beyond the fence latency.
+        """
+        self.channel = channel
+        self.endpoint = channel.creator_endpoint
 
     def invoke(self, method_name: str, *args: Any
                ) -> Generator[Event, None, Any]:
@@ -78,6 +92,8 @@ class Proxy:
         :class:`~repro.errors.RetryBudgetExceededError` (a subclass of
         ``OffloadTimeoutError``) instead of hanging the caller.
         """
+        if self.gate is not None:
+            yield from self.gate.wait()
         if self.policy is not None:
             result = yield from self._invoke_with_policy(method_name, args)
             return result

@@ -30,10 +30,11 @@ from dataclasses import dataclass, field
 from typing import (Callable, Dict, Generator, Iterable, List, Optional,
                     Set, Tuple)
 
-from repro.errors import DeploymentError, HydraError, OffcodeError
+from repro.errors import (DeploymentError, HydraError, MigrationError,
+                          OffcodeError)
 from repro.core.channel import Channel, ChannelConfig, ChannelStats
 from repro.core.checkpoint import (CheckpointConfig, CheckpointService,
-                                   checkpointable)
+                                   capture_checkpoint, checkpointable)
 from repro.core.deployment import DeploymentPipeline, DeploymentReport
 from repro.core.depot import OffcodeDepot
 from repro.core.devruntime import DeviceRuntime
@@ -59,6 +60,8 @@ from repro.core.resources import FinalizerFailure, ResourceTree
 from repro.core.sites import ExecutionSite, HostSite
 from repro.core.watchdog import DeviceWatchdog, WatchdogConfig
 from repro.hw.machine import Machine
+from repro.resilience.migration import HoldingGate, MigrationRecord
+from repro.resilience.supervisor import Supervisor, SupervisorConfig
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Resource as SimResource
 from repro.sim.trace import emit as trace_emit
@@ -236,10 +239,22 @@ class HydraRuntime:
         # demand), the incident log, and recovery hooks applications use
         # to rewire data channels after a host-fallback redeploy.
         self.failed_devices: Set[str] = set()
+        # Proactive resilience: standby devices are healthy spares the
+        # layout never uses until a migration pins onto them (so adding
+        # one cannot perturb a baseline solve); quarantined devices are
+        # flapping ones the supervisor pulled from rotation.  Both are
+        # excluded from every layout solve alongside failed devices.
+        self.standby_devices: Set[str] = set()
+        self.quarantined_devices: Set[str] = set()
         self.watchdog: Optional[DeviceWatchdog] = None
         self.checkpointer: Optional[CheckpointService] = None
+        self.supervisor: Optional[Supervisor] = None
         self.incidents: List[RecoveryIncident] = []
+        self.migrations: List[MigrationRecord] = []
         self._recovery_hooks: List[Callable] = []
+        # Live proxies by bindname, so a migration can fence and rebind
+        # them in place (callers keep their Proxy object across cutover).
+        self._proxies: Dict[str, List[Proxy]] = {}
         # Overlapping device deaths serialize their re-deploys: a solve
         # mutating the registry while another incident's solve runs
         # would hand out torn layouts.
@@ -376,6 +391,7 @@ class HydraRuntime:
             pass   # pseudo/reused offcodes may not be tracked
         result.channel = channel
         result.proxy = Proxy(iface, channel, channel.creator_endpoint)
+        self._proxies.setdefault(offcode.bindname, []).append(result.proxy)
         return result
 
     def create_offcode(self, odf_path: str,
@@ -489,6 +505,20 @@ class HydraRuntime:
         self.checkpointer = CheckpointService(self, config)
         self.checkpointer.start()
         return self.checkpointer
+
+    def start_supervisor(self, config: Optional[SupervisorConfig] = None
+                         ) -> Supervisor:
+        """Arm the self-healing supervisor loop (repro.resilience).
+
+        Consumes watchdog status transitions and channel health to
+        quarantine flapping devices, drain them via :meth:`migrate`, and
+        engage admission control at the executive on brownout.
+        """
+        if self.supervisor is not None:
+            raise HydraError("supervisor already started")
+        self.supervisor = Supervisor(self, config)
+        self.supervisor.start()
+        return self.supervisor
 
     def add_recovery_hook(self, hook: Callable) -> None:
         """Register ``hook(device_name, incident)`` — a generator run
@@ -706,6 +736,289 @@ class HydraRuntime:
                                    f"replay on {label!r} for "
                                    f"{writer_bindname} failed: {exc!r}",
                                    offcode=writer_bindname)
+
+    # -- live migration -----------------------------------------------------------------
+
+    def migrate(self, offcode, target: Optional[str] = None, *,
+                prepare_timeout_ns: int = 25_000_000,
+                drain_timeout_ns: int = 20_000_000,
+                poll_ns: int = 250_000
+                ) -> Generator[Event, None, MigrationRecord]:
+        """Live-migrate one running Offcode to another device.
+
+        The cutover state machine (see docs/fault-model.md):
+
+        1. **fence** — new proxy calls park in a bounded
+           :class:`~repro.resilience.migration.HoldingGate` (overflow is
+           shed with a typed error);
+        2. **quiesce** — the offcode's cooperative ``prepare_migrate``
+           hook parks its thread of control at a safe point, then every
+           attached RELIABLE channel is drained until its unacked queue
+           is empty (bounded by ``drain_timeout_ns``) — the
+           zero-loss/zero-duplicate path;
+        3. **checkpoint** — an on-demand snapshot under the PR 4
+           contract (:func:`~repro.core.checkpoint.capture_checkpoint`);
+        4. **re-solve** — the ILP layout runs online with the source
+           device banned for the victim (or the victim pinned to
+           ``target``, which may be a standby device) and every survivor
+           pinned in place;
+        5. **restore + rewire** — the snapshot is applied on the
+           destination, recovery hooks rewire data channels, leftover
+           unacked messages are replayed (at-least-once fallback — empty
+           whenever the drain in step 2 completed);
+        6. **release** — proxies are rebound to fresh channels and the
+           holding gate reopens.
+
+        Returns the :class:`~repro.resilience.migration.MigrationRecord`
+        (also appended to :attr:`migrations` before the first side
+        effect).  ``downtime_ns`` on the record measures fence-to-ready.
+        Raises :class:`~repro.errors.MigrationError` on failure; the
+        gate is always released first, so callers never deadlock.
+        """
+        bindname = offcode if isinstance(offcode, str) else offcode.bindname
+        victim = self.get_offcode(bindname)
+        source = victim.location
+        if victim.state != OffcodeState.RUNNING:
+            raise MigrationError(
+                f"cannot migrate {bindname}: state is {victim.state}, "
+                "not RUNNING")
+        if target is not None:
+            if target == source:
+                raise MigrationError(
+                    f"{bindname} already runs on {target}")
+            if target != "host" and target not in self.machine.devices:
+                raise MigrationError(
+                    f"unknown migration target {target!r}")
+            if target in self.failed_devices:
+                raise MigrationError(
+                    f"migration target {target} has failed")
+        record = MigrationRecord(bindname=bindname, source=source,
+                                 target=target,
+                                 started_at_ns=self.sim.now)
+        self.migrations.append(record)
+        trace_emit(self.sim, "fault",
+                   f"migrating {bindname} off {source} "
+                   f"(target: {target or 'auto'})",
+                   offcode=bindname, source=source)
+        tel = self.sim.telemetry
+        span = token = None
+        if tel is not None:
+            span = tel.begin(f"migrate.{bindname}", "migrate",
+                             f"runtime:{self.machine.name}",
+                             offcode=bindname, source=source,
+                             target=target or "auto")
+            token = tel.push_ctx(span.context)
+        gate = HoldingGate(self.sim)
+        proxies = list(self._proxies.get(bindname, ()))
+        try:
+            yield self._recovery_lock.request()
+            try:
+                yield from self._migrate_locked(
+                    record, victim, target, gate, proxies,
+                    prepare_timeout_ns, drain_timeout_ns, poll_ns)
+            finally:
+                self._recovery_lock.release()
+            record.completed_at_ns = self.sim.now
+            trace_emit(self.sim, "fault",
+                       f"{bindname} migrated {source} -> "
+                       f"{record.destination} "
+                       f"(downtime {record.downtime_ns} ns, "
+                       f"replayed {record.replayed})",
+                       offcode=bindname)
+            return record
+        except Exception as exc:
+            record.failed_at_ns = self.sim.now
+            record.error = exc
+            trace_emit(self.sim, "fault",
+                       f"migration of {bindname} failed: {exc!r}",
+                       offcode=bindname)
+            if isinstance(exc, MigrationError):
+                raise
+            raise MigrationError(
+                f"migration of {bindname} off {source} failed: "
+                f"{exc!r}") from exc
+        finally:
+            # The gate must never outlive the attempt, success or not.
+            gate.open()
+            for proxy in proxies:
+                if proxy.gate is gate:
+                    proxy.gate = None
+            record.shed = gate.shed
+            record.held_peak = gate.held_peak
+            if span is not None:
+                tel.pop_ctx(token)
+                tel.end(span, completed=record.completed,
+                        destination=record.destination or "",
+                        downtime_ns=record.downtime_ns or 0,
+                        drained=record.drained,
+                        replayed=record.replayed, shed=record.shed)
+
+    def _migrate_locked(self, record: MigrationRecord, victim: Offcode,
+                        target: Optional[str], gate: HoldingGate,
+                        proxies: List[Proxy], prepare_timeout_ns: int,
+                        drain_timeout_ns: int, poll_ns: int
+                        ) -> Generator[Event, None, None]:
+        bindname = record.bindname
+        source = record.source
+        tel = self.sim.telemetry
+
+        def step(name: str):
+            if tel is None:
+                return None
+            # Parent under the migrate root pushed by migrate(), so the
+            # whole cutover reads as one span tree.
+            return tel.begin(f"migrate.{name}", "migrate",
+                             f"runtime:{self.machine.name}",
+                             parent=tel.current_ctx(),
+                             offcode=bindname)
+
+        def done(child) -> None:
+            if child is not None:
+                tel.end(child)
+
+        # 1-2. Fence, then quiesce.
+        child = step("quiesce")
+        gate.close()
+        for proxy in proxies:
+            proxy.gate = gate
+        record.quiesced_at_ns = self.sim.now
+        yield from self._quiesce_for_migration(
+            record, victim, prepare_timeout_ns, drain_timeout_ns, poll_ns)
+        done(child)
+
+        # 3. On-demand checkpoint (PR 4 snapshot contract).
+        child = step("checkpoint")
+        state = yield from capture_checkpoint(self, victim)
+        done(child)
+
+        # 4. Capture leftovers the victim sent but never saw acked, the
+        # ODF closure, and the firmware port claim — then tear down.
+        victim_channels = [ch for ch in getattr(victim, "channels", ())]
+        pending: List[Tuple] = []
+        for channel in victim_channels:
+            if channel.closed:
+                continue
+            messages = channel.unacked_messages()
+            if not messages:
+                continue
+            writer = channel.creator_endpoint.bound_offcode
+            if writer is not victim:
+                continue
+            pending.append((bindname, channel.config.label, messages))
+        documents: Dict[str, OdfDocument] = {}
+        self._closure_documents(bindname, documents)
+        old_mux = getattr(victim, "port_mux", None)
+        old_port = getattr(victim, "listen_port", None)
+        child = step("teardown")
+        record.reports = [self.fail_offcode(bindname)]
+        for channel in victim_channels:
+            if not channel.closed:
+                channel.close()
+        done(child)
+
+        # 5. Online re-solve: survivors pinned, the victim either pinned
+        # to the requested target (standby devices become eligible via
+        # ``allow``) or banned from its source.
+        child = step("redeploy")
+        allow = {target} if target not in (None, "host") else None
+        pinned_extra = {bindname: target} if target is not None else None
+        banned = {bindname: (source,)} if target is None else None
+        report = yield from self.pipeline._deploy(
+            list(documents.values()), roots=[bindname], objective=None,
+            pinned_extra=pinned_extra, allow=allow, banned=banned)
+        record.placement = {name: report.location_of(name)
+                            for name in report.offcodes}
+        replacement = self.get_offcode(bindname)
+        record.destination = replacement.location
+        done(child)
+
+        # 6. Restore state, hand over the firmware port claim, rewire
+        # data channels (same hook contract as crash recovery), replay
+        # whatever the drain could not confirm.
+        child = step("restore")
+        if state is not None and checkpointable(replacement):
+            replacement.restore(state)
+            record.restored = True
+        if old_mux is not None and old_port is not None:
+            if getattr(replacement, "port_mux", None) is not old_mux:
+                release = getattr(old_mux, "release", None)
+                if release is not None:
+                    release(old_port)
+        done(child)
+        child = step("rewire")
+        for hook in self._recovery_hooks:
+            try:
+                yield from hook(source, record)
+            except Exception as exc:
+                record.hook_errors.append(exc)
+                trace_emit(self.sim, "fault",
+                           f"migration rewire hook failed for "
+                           f"{bindname}: {exc!r}", offcode=bindname)
+        yield from self._replay_unacked(record, pending)
+        for proxy in proxies:
+            self._rebind_proxy(proxy, replacement)
+        record.restored_at_ns = self.sim.now
+        done(child)
+
+    def _quiesce_for_migration(self, record: MigrationRecord,
+                               victim: Offcode, prepare_timeout_ns: int,
+                               drain_timeout_ns: int, poll_ns: int
+                               ) -> Generator[Event, None, None]:
+        """Cooperative park, then drain every unacked queue dry.
+
+        When both succeed, the victim holds no in-flight reliable
+        traffic: teardown loses nothing and replay has nothing to
+        duplicate — the exactly-once path.  Timeouts degrade to the
+        recovery semantics (at-least-once via capture + replay).
+        """
+        parked = self.sim.spawn(
+            self._run_prepare(record, victim),
+            name=f"migrate-prep-{victim.bindname}")
+        yield self.sim.any_of(
+            (parked, self.sim.timeout(prepare_timeout_ns)))
+
+        deadline = self.sim.now + drain_timeout_ns
+        while self.sim.now < deadline:
+            busy = [ch for ch in getattr(victim, "channels", ())
+                    if not ch.closed and ch.unacked_messages()]
+            if not busy:
+                record.drained = True
+                return
+            yield self.sim.timeout(poll_ns)
+        record.drained = not any(
+            not ch.closed and ch.unacked_messages()
+            for ch in getattr(victim, "channels", ()))
+
+    def _run_prepare(self, record: MigrationRecord, victim: Offcode
+                     ) -> Generator[Event, None, None]:
+        """Disposable wrapper for the duck-typed quiesce hook: a failing
+        or hanging hook degrades the migration, never the simulator."""
+        try:
+            hook = getattr(victim, "prepare_migrate", None)
+            if hook is None:
+                return
+            result = hook()
+            if result is not None:
+                yield from result
+        except Exception as exc:
+            record.hook_errors.append(exc)
+            trace_emit(self.sim, "fault",
+                       f"prepare_migrate of {victim.bindname} failed: "
+                       f"{exc!r}", offcode=victim.bindname)
+
+    def _rebind_proxy(self, proxy: Proxy, offcode: Offcode) -> None:
+        """Point an existing Proxy at a freshly-connected channel."""
+        config = proxy.channel.config.with_target(offcode.location)
+        channel = self.executive.create_channel(config, self.host_site)
+        self.executive.connect_offcode(channel, offcode)
+        try:
+            node = self.resources.lookup(offcode.bindname)
+            self.resources.track(
+                f"{offcode.bindname}/proxy-{channel.channel_id}",
+                kind="channel", parent=node, finalizer=channel.close)
+        except HydraError:
+            pass
+        proxy.rebind(channel)
 
     def document_of(self, bindname: str) -> OdfDocument:
         """The ODF a deployed Offcode came from."""

@@ -23,7 +23,7 @@ Design constraints imposed by the simulation engine:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.errors import DeviceFailedError, HydraError
 from repro.core.channel import ChannelConfig, Endpoint
@@ -71,6 +71,11 @@ class _DeviceWatch:
         self.missed = 0
         self.last_pong_seq = 0
         self.status = "alive"            # alive | suspect | dead
+        # (at_ns, status) appended on every *change* — never on a repeat,
+        # so consumers (the supervisor's flap detector) see monotone,
+        # deduplicated episodes.  The initial "alive" is not recorded:
+        # every "alive" entry is a genuine recovery.
+        self.transitions: List[Tuple[int, str]] = []
         self.waiter: Optional[tuple] = None   # (seq, Event) of live round
         self.declared_dead_at_ns: Optional[int] = None
 
@@ -130,12 +135,28 @@ class DeviceWatchdog:
         """Sim time the device was declared dead, or None."""
         return self._watch(device).declared_dead_at_ns
 
+    def transitions_of(self, device: str) -> List[Tuple[int, str]]:
+        """Status changes for one device, as ``(at_ns, status)`` tuples.
+
+        Only *changes* are recorded (the steady initial "alive" is not),
+        so an "alive" entry always marks a recovery from suspect/dead —
+        the supervisor's flap detector counts exactly these.
+        """
+        return list(self._watch(device).transitions)
+
     def _watch(self, device: str) -> _DeviceWatch:
         try:
             return self._watches[device]
         except KeyError:
             raise HydraError(
                 f"watchdog is not monitoring {device!r}") from None
+
+    def _set_status(self, watch: _DeviceWatch, status: str) -> None:
+        """Record a status change (idempotent: repeats are not logged)."""
+        if watch.status == status:
+            return
+        watch.status = status
+        watch.transitions.append((self.sim.now, status))
 
     # -- device side -------------------------------------------------------------
 
@@ -201,14 +222,14 @@ class DeviceWatchdog:
                                f"{watch.missed} missed beat(s)",
                                device=watch.name)
                 watch.missed = 0
-                watch.status = "alive"
+                self._set_status(watch, "alive")
                 continue
             watch.waiter = None
             if isinstance(outcome.get("error"), DeviceFailedError):
                 self._declare_dead(watch, "crash detected")
                 return
             watch.missed += 1
-            watch.status = "suspect"
+            self._set_status(watch, "suspect")
             tel = self.sim.telemetry
             if tel is not None:
                 tel.instant("watchdog.miss", "watchdog",
@@ -225,7 +246,7 @@ class DeviceWatchdog:
                 return
 
     def _declare_dead(self, watch: _DeviceWatch, reason: str) -> None:
-        watch.status = "dead"
+        self._set_status(watch, "dead")
         watch.declared_dead_at_ns = self.sim.now
         tel = self.sim.telemetry
         if tel is not None:

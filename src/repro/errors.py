@@ -128,6 +128,31 @@ class ProviderError(HydraError):
     """No channel provider can satisfy a requested channel configuration."""
 
 
+class AdmissionShedError(ChannelError):
+    """A call was shed by admission control during overload or a drain.
+
+    Raised at the submission edge (proxy holding queue overflow, or the
+    Channel Executive's brownout policy refusing a low-priority call) so
+    callers observe back-pressure as a typed error instead of unbounded
+    queueing.  ``priority`` carries the channel priority that lost the
+    admission decision.
+    """
+
+    def __init__(self, message: str, priority: int = 0) -> None:
+        super().__init__(message)
+        self.priority = priority
+
+
+class MigrationError(HydraError):
+    """A live offcode migration could not complete.
+
+    The partially-performed cutover is recorded on the runtime's
+    ``migrations`` list (``failed_at_ns``/``error``) for post-mortem;
+    holding gates are always released before this propagates, so callers
+    never deadlock on a failed migration.
+    """
+
+
 class DepotError(HydraError):
     """Offcode Depot lookup failed (no instance for GUID/device class)."""
 

@@ -20,21 +20,23 @@ from __future__ import annotations
 
 import argparse
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import units
 from repro.core.checkpoint import CheckpointConfig
 from repro.core.offcode import OffcodeState
 from repro.core.watchdog import WatchdogConfig
 from repro.faults.plan import FaultPlan
+from repro.resilience import SupervisorConfig
 from repro.tivopc.client import OffloadedClient
 from repro.tivopc.components import StreamerOffcode
 from repro.tivopc.server import OffloadedServer
 from repro.tivopc.testbed import Testbed, TestbedConfig
 
-__all__ = ["ChaosProfile", "ChaosRun", "ChaosReport", "generate_plan",
-           "run_chaos_scenario", "check_invariants", "soak", "main"]
+__all__ = ["ChaosProfile", "ChaosRun", "ChaosReport", "PROFILES",
+           "generate_plan", "run_chaos_scenario", "check_invariants",
+           "soak", "main"]
 
 # Mixed into the seed so the plan stream never collides with the
 # testbed's own RandomStreams substreams for the same seed.
@@ -55,6 +57,7 @@ class ChaosProfile:
     firmware that resumes in time is latency, not an incident).
     """
 
+    name: str = "default"
     seconds: float = 6.0                # streaming horizon after warmup
     warmup_seconds: float = 0.2         # client bring-up before the server
     drain_seconds: float = 0.3          # settle time after server stop
@@ -70,6 +73,58 @@ class ChaosProfile:
     max_bus_transients: int = 3
     checkpoint: bool = True
     telemetry: bool = False             # attach a repro.telemetry hub
+    # Resilience knobs (the flap/overload/drain presets in PROFILES).
+    standby_nic: bool = False           # add "nic1" as a migration target
+    supervisor: Optional[SupervisorConfig] = None
+    # Scripted live migration mid-stream: > 0 migrates
+    # ``migrate_bindname`` at that offset (relative to server start).
+    migrate_at_s: float = 0.0
+    migrate_bindname: str = "tivopc.NetStreamer"
+    migrate_target: Optional[str] = None
+    # Deterministic flap schedule: repeated short stalls (well below the
+    # watchdog death threshold) that exercise quarantine, not recovery.
+    flap_target: str = "client.nic0"
+    flap_count: int = 0
+    flap_at_s: float = 1.0              # first stall, after server start
+    flap_spacing_s: float = 0.02
+    flap_stall_ns: int = 3_500_000
+    # Which supervisor outcomes the invariant checker demands.
+    expect_quarantine: bool = False
+    expect_admission: bool = False
+
+
+# Named presets for the chaos CLI (``--profile``).  Each is a complete
+# ChaosProfile; command-line overrides (``--seconds``) are applied on
+# top with dataclasses.replace.
+PROFILES: Dict[str, ChaosProfile] = {
+    # The original soak: noise + transients + one hard crash.
+    "default": ChaosProfile(),
+    # Planned drain: no failures at all — a scripted live migration of
+    # the network Streamer onto the client's standby NIC mid-stream.
+    # The invariants demand a completed cutover and an exactly-once
+    # stream (every packet the server sent handled exactly once).
+    "drain": ChaosProfile(
+        name="drain", crash_probability=0.0, stall_probability=0.0,
+        standby_nic=True, supervisor=SupervisorConfig(),
+        migrate_at_s=2.0, migrate_target="nic1"),
+    # Flapping firmware: bursts of sub-threshold stalls on the client
+    # NIC.  No device ever dies; the supervisor must quarantine the
+    # flapper (exactly once per burst), drain it, and un-quarantine it
+    # after probation.
+    "flap": ChaosProfile(
+        name="flap", crash_probability=0.0, stall_probability=0.0,
+        flap_count=3, supervisor=SupervisorConfig(),
+        expect_quarantine=True),
+    # Overload: heavy channel noise drives the retransmit-rate EWMA
+    # over the brownout threshold; the supervisor must engage
+    # priority-aware admission control at the executive.
+    "overload": ChaosProfile(
+        name="overload", crash_probability=0.0, stall_probability=0.0,
+        loss_range=(0.25, 0.35),
+        supervisor=SupervisorConfig(brownout_enter=50.0,
+                                    brownout_exit=10.0),
+        expect_admission=True),
+}
 
 
 def generate_plan(seed: int, profile: Optional[ChaosProfile] = None
@@ -113,6 +168,16 @@ def generate_plan(seed: int, profile: Optional[ChaosProfile] = None
             rng.randint(start_ns + round(0.8 * units.SECOND),
                         horizon_ns - round(2.0 * units.SECOND)),
             rng.choice(profile.crash_targets))
+
+    # Deterministic flap burst (flap profile): each stall is shorter
+    # than the watchdog's death threshold, so the device oscillates
+    # suspect→alive without ever producing an incident — exactly the
+    # signal the supervisor's flap detector quarantines on.
+    for i in range(profile.flap_count):
+        plan.stall_device(
+            start_ns + round((profile.flap_at_s
+                              + i * profile.flap_spacing_s) * units.SECOND),
+            profile.flap_target, duration_ns=profile.flap_stall_ns)
     return plan
 
 
@@ -126,6 +191,9 @@ class ChaosRun:
     testbed: Testbed
     client: OffloadedClient
     server: OffloadedServer
+    # Scripted-migration outcome: {"record": MigrationRecord} on
+    # success, {"error": exc} on failure, empty when none was scheduled.
+    migration: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -138,6 +206,7 @@ class ChaosReport:
     retransmits: int = 0
     dup_dropped: int = 0
     chunks_received: int = 0
+    migrations: int = 0
 
     @property
     def ok(self) -> bool:
@@ -160,18 +229,43 @@ def run_chaos_scenario(seed: int, profile: Optional[ChaosProfile] = None
     testbed = Testbed(TestbedConfig(
         seed=seed, fault_plan=plan, watchdog=WatchdogConfig(),
         checkpoint=CheckpointConfig() if profile.checkpoint else None,
-        telemetry=profile.telemetry))
+        telemetry=profile.telemetry,
+        standby_nic=profile.standby_nic,
+        supervisor=profile.supervisor))
     testbed.start()
     client = OffloadedClient(testbed, host_fallback=True)
     client.start()
     testbed.run(profile.warmup_seconds)
     server = OffloadedServer(testbed)
     server.start()
-    testbed.run(profile.seconds)
+    migration: dict = {}
+    if profile.migrate_at_s > 0.0:
+        before = min(profile.migrate_at_s, profile.seconds)
+        testbed.run(before)
+        testbed.sim.spawn(
+            _scripted_migration(testbed, profile, migration),
+            name="chaos-migrate")
+        testbed.run(profile.seconds - before)
+    else:
+        testbed.run(profile.seconds)
     server.stop()
     testbed.run(profile.drain_seconds)
     return ChaosRun(seed=seed, profile=profile, plan=plan,
-                    testbed=testbed, client=client, server=server)
+                    testbed=testbed, client=client, server=server,
+                    migration=migration)
+
+
+def _scripted_migration(testbed: Testbed, profile: ChaosProfile,
+                        outcome: dict):
+    """Disposable wrapper: a failed migration must surface as an
+    invariant violation, not crash the simulator (nobody awaits this)."""
+    try:
+        record = yield from testbed.client_runtime.migrate(
+            profile.migrate_bindname, target=profile.migrate_target)
+    except Exception as exc:
+        outcome["error"] = exc
+    else:
+        outcome["record"] = record
 
 
 def check_invariants(run: ChaosRun) -> List[str]:
@@ -251,6 +345,59 @@ def check_invariants(run: ChaosRun) -> List[str]:
         violations.append("no frames reached the display")
     if run.client.bytes_recorded == 0:
         violations.append("nothing reached the recording")
+
+    # 7. Scripted live migration (drain profile): the cutover completed
+    #    on the requested target with every unacked queue drained, and
+    #    the stream stayed exactly-once across it — every chunk the
+    #    server sent was handled exactly once (no loss, no duplicates).
+    profile = run.profile
+    if profile.migrate_at_s > 0.0:
+        record = run.migration.get("record")
+        error = run.migration.get("error")
+        if error is not None:
+            violations.append(f"live migration raised: {error!r}")
+        elif record is None:
+            violations.append("live migration never completed")
+        else:
+            if not record.completed:
+                violations.append(
+                    f"migration of {record.bindname!r} did not complete "
+                    f"(error={record.error!r})")
+            if (profile.migrate_target is not None
+                    and record.destination != profile.migrate_target):
+                violations.append(
+                    f"migration landed on {record.destination!r}, "
+                    f"wanted {profile.migrate_target!r}")
+            if not record.drained:
+                violations.append(
+                    "migration cut over with unacked messages in flight")
+        sent = run.server.packets_sent
+        handled = run.client.chunks_received
+        if handled != sent:
+            violations.append(
+                "stream not exactly-once across migration: "
+                f"server sent {sent}, client handled {handled}")
+
+    # 8. Supervisor policy outcomes demanded by the profile.
+    supervisor = testbed.client_runtime.supervisor
+    if profile.expect_quarantine:
+        if supervisor is None or supervisor.quarantines != 1:
+            count = supervisor.quarantines if supervisor else 0
+            violations.append(
+                f"expected exactly one quarantine, saw {count}")
+        elif supervisor.config.drain and supervisor.drains_completed == 0:
+            violations.append(
+                "quarantine drained nothing "
+                f"(started={supervisor.drains_started} "
+                f"failed={supervisor.drains_failed})")
+        if testbed.client_runtime.incidents:
+            violations.append(
+                "sub-threshold flapping produced a recovery incident")
+    if profile.expect_admission:
+        if supervisor is None or supervisor.admission.engagements == 0:
+            violations.append(
+                "overload never engaged admission control "
+                f"(retransmit EWMA peaked below the brownout threshold)")
     return violations
 
 
@@ -266,7 +413,9 @@ def _report(run: ChaosRun) -> ChaosReport:
         incidents=(len(run.testbed.client_runtime.incidents)
                    + len(run.testbed.server_runtime.incidents)),
         retransmits=retransmits, dup_dropped=dup_dropped,
-        chunks_received=run.client.chunks_received)
+        chunks_received=run.client.chunks_received,
+        migrations=(len(run.testbed.client_runtime.migrations)
+                    + len(run.testbed.server_runtime.migrations)))
 
 
 def soak(seeds: Sequence[int],
@@ -281,6 +430,7 @@ def soak(seeds: Sequence[int],
             status = "ok" if report.ok else "FAIL"
             print(f"seed {seed:4d}: {status}  "
                   f"incidents={report.incidents} "
+                  f"migrations={report.migrations} "
                   f"retransmits={report.retransmits} "
                   f"dup_dropped={report.dup_dropped} "
                   f"chunks={report.chunks_received}")
@@ -297,23 +447,50 @@ def _parse_seeds(spec: str) -> List[int]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI: ``python -m repro.faults.chaos --seeds 0:50``."""
+    """CLI: ``python -m repro.faults.chaos --seeds 0:50 --profile drain``."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", default="0:10",
                         help="seed range 'LO:HI' (half-open) or 'a,b,c'")
+    parser.add_argument("--profile", default="default",
+                        choices=sorted(PROFILES),
+                        help="fault-schedule preset: default (noise + "
+                             "crash), drain (scripted live migration), "
+                             "flap (quarantine), overload (admission)")
     parser.add_argument("--seconds", type=float, default=6.0,
                         help="streaming horizon per seed (sim seconds)")
     parser.add_argument("--no-checkpoint", action="store_true",
                         help="soak without periodic checkpointing")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="run the first seed with telemetry attached "
+                             "and write trace/metrics artifacts to DIR")
     args = parser.parse_args(argv)
-    profile = ChaosProfile(seconds=args.seconds,
-                           checkpoint=not args.no_checkpoint)
-    reports = soak(_parse_seeds(args.seeds), profile, verbose=True)
+    profile = replace(PROFILES[args.profile], seconds=args.seconds,
+                      checkpoint=not args.no_checkpoint)
+    seeds = _parse_seeds(args.seeds)
+    reports: List[ChaosReport] = []
+    if args.artifacts and seeds:
+        from repro.telemetry.export import write_artifacts
+        traced = run_chaos_scenario(seeds[0],
+                                    replace(profile, telemetry=True))
+        paths = write_artifacts(
+            traced.testbed.telemetry, args.artifacts,
+            prefix=f"chaos-{args.profile}-seed{seeds[0]}")
+        for fmt, path in sorted(paths.items()):
+            print(f"artifact [{fmt}]: {path}")
+        report = _report(traced)
+        reports.append(report)
+        status = "ok" if report.ok else "FAIL"
+        print(f"seed {report.seed:4d}: {status}  (traced)")
+        for violation in report.violations:
+            print(f"           - {violation}")
+        seeds = seeds[1:]
+    reports.extend(soak(seeds, profile, verbose=True))
     failed = [r for r in reports if not r.ok]
     print(f"{len(reports) - len(failed)}/{len(reports)} seeds passed")
     for report in failed:
         print(f"reproduce: PYTHONPATH=src python -m repro.faults.chaos "
               f"--seeds {report.seed}:{report.seed + 1} "
+              f"--profile {args.profile} "
               f"--seconds {args.seconds}")
     return 1 if failed else 0
 

@@ -173,6 +173,31 @@ class NicPortMux:
         self.tx_packets += 1
         return packet
 
+    def claim(self, port: int) -> DevicePortBinding:
+        """Bind ``port``, or take over an existing binding (migration).
+
+        A live-migrated Offcode lands on a new site but must keep
+        receiving the stream already flowing to its port; the binding's
+        queue keeps buffering during the cutover, so re-claiming it loses
+        nothing.  The previous consumer's parked ``get`` is purged first:
+        its process is dead, and a stale getter would silently eat the
+        next packet handed to it (see :meth:`Store.forget_getters`).
+        """
+        binding = self._bindings.get(port)
+        if binding is None:
+            return self.bind(port)
+        binding.queue.forget_getters()
+        return binding
+
+    def release(self, port: int) -> None:
+        """Drop a port claim so frames fall through to the host path.
+
+        Called when an Offcode migrates *off* every firmware consumer of
+        this mux (e.g. to the host): a still-claimed port would keep
+        intercepting frames into a queue nobody reads.
+        """
+        self._bindings.pop(port, None)
+
     def _rx_handler(self, packet: Packet):
         """NIC rx-offload hook: claim bound ports, decline the rest."""
         binding = self._bindings.get(packet.dst.port)

@@ -1,0 +1,33 @@
+"""Proactive resilience: live migration, supervision, admission control.
+
+The fault subsystems built so far are *reactive*: a device crashes, the
+watchdog declares it dead, recovery restores from checkpoint and replays
+unacked traffic.  This package adds the proactive half of the operations
+story — move an offcode off a device **before** it dies or saturates:
+
+* :mod:`repro.resilience.migration` — the bookkeeping of one live
+  cutover (:class:`MigrationRecord`) and the bounded holding queue that
+  fences proxy calls while it runs (:class:`HoldingGate`).
+* :mod:`repro.resilience.admission` — priority-aware load shedding at
+  the Channel Executive (:class:`AdmissionController`).
+* :mod:`repro.resilience.supervisor` — the self-healing policy loop
+  (:class:`Supervisor`): quarantine flapping devices, drain them via
+  :meth:`~repro.core.runtime.HydraRuntime.migrate`, engage admission
+  control on brownout, un-quarantine after probation.
+
+Layering: these modules are imported *by* ``repro.core`` (the runtime's
+``migrate`` verb uses the record and gate), so nothing here may import
+from ``repro.core`` — the supervisor duck-types against the runtime.
+"""
+
+from repro.resilience.admission import AdmissionController
+from repro.resilience.migration import HoldingGate, MigrationRecord
+from repro.resilience.supervisor import Supervisor, SupervisorConfig
+
+__all__ = [
+    "AdmissionController",
+    "HoldingGate",
+    "MigrationRecord",
+    "Supervisor",
+    "SupervisorConfig",
+]

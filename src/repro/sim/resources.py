@@ -106,6 +106,20 @@ class Store:
             self._getters.append(event)
         return event
 
+    def forget_getters(self) -> int:
+        """Discard every queued getter; returns how many were dropped.
+
+        A consumer killed while parked on :meth:`get` leaves its event in
+        the getter queue; a later ``put`` would hand the item to that
+        corpse and the item would silently vanish.  Takeover paths (a
+        migrated offcode re-claiming a NIC port binding) call this before
+        installing the new reader.  The abandoned events are never
+        succeeded — their processes are already dead.
+        """
+        dropped = len(self._getters)
+        self._getters.clear()
+        return dropped
+
     def _admit_putter(self) -> None:
         if self._putters and not self.full:
             putter, item = self._putters.popleft()

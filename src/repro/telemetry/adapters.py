@@ -156,6 +156,34 @@ def bind_runtime(registry: MetricsRegistry, runtime, name: str) -> None:
         "repro_watchdog_missed_beats",
         help="Consecutive missed heartbeats (0 = healthy)",
         labels=("runtime", "device"))
+    migrations = registry.gauge(
+        "repro_migrations",
+        help="Live offcode migrations by outcome",
+        labels=("runtime", "state"))
+    migration_replayed = registry.counter(
+        "repro_migration_replayed_total",
+        help="Unacked messages replayed during migration cutovers",
+        labels=("runtime",)).labels(runtime=name)
+    migration_shed = registry.counter(
+        "repro_migration_shed_total",
+        help="Calls shed at migration holding gates (queue overflow)",
+        labels=("runtime",)).labels(runtime=name)
+    quarantined = registry.gauge(
+        "repro_quarantined_devices",
+        help="Devices currently quarantined by the supervisor",
+        labels=("runtime",)).labels(runtime=name)
+    supervisor_actions = registry.counter(
+        "repro_supervisor_decisions_total",
+        help="Supervisor policy decisions by action",
+        labels=("runtime", "action"))
+    admission_shed = registry.counter(
+        "repro_admission_shed_total",
+        help="Calls shed by admission control, by channel priority",
+        labels=("runtime", "priority"))
+    admission_engaged = registry.gauge(
+        "repro_admission_engaged",
+        help="1 while priority-aware load shedding is engaged",
+        labels=("runtime",)).labels(runtime=name)
 
     def collect(_registry: MetricsRegistry) -> None:
         for channel in runtime.executive.channels:
@@ -188,6 +216,35 @@ def bind_runtime(registry: MetricsRegistry, runtime, name: str) -> None:
                 beats.labels(runtime=name, device=device).set_total(
                     watch.beats)
                 missed.labels(runtime=name, device=device).set(watch.missed)
+        migration_counts = {"completed": 0, "failed": 0, "pending": 0}
+        replayed_in_migration = shed_at_gates = 0
+        for record in runtime.migrations:
+            if record.completed:
+                migration_counts["completed"] += 1
+            elif record.failed:
+                migration_counts["failed"] += 1
+            else:
+                migration_counts["pending"] += 1
+            replayed_in_migration += record.replayed
+            shed_at_gates += record.shed
+        for state, count in migration_counts.items():
+            migrations.labels(runtime=name, state=state).set(count)
+        migration_replayed.set_total(replayed_in_migration)
+        migration_shed.set_total(shed_at_gates)
+        quarantined.set(len(runtime.quarantined_devices))
+        supervisor = runtime.supervisor
+        if supervisor is not None:
+            actions: dict = {}
+            for decision in supervisor.decisions:
+                actions[decision.action] = actions.get(
+                    decision.action, 0) + 1
+            for action, count in actions.items():
+                supervisor_actions.labels(
+                    runtime=name, action=action).set_total(count)
+            for priority, count in supervisor.admission.shed_by_priority.items():
+                admission_shed.labels(
+                    runtime=name, priority=str(priority)).set_total(count)
+            admission_engaged.set(1 if supervisor.admission.engaged else 0)
 
     registry.register_collector(collect)
 

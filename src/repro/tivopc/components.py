@@ -103,6 +103,10 @@ class StreamerOffcode(Offcode):
         self.chunks_handled = 0
         self.paused = False
         self._channel_ready: Event = site.sim.event()
+        # Migration quiesce: prepare_migrate raises the flag, the
+        # receive loop parks between chunks and signals here.
+        self._draining = False
+        self._parked: Event = site.sim.event()
 
     @property
     def _network_role(self) -> bool:
@@ -154,7 +158,13 @@ class StreamerOffcode(Offcode):
     def on_start(self) -> Generator[Event, None, None]:
         yield from super().on_start()
         if self.port_mux is not None:
-            self.binding = self.port_mux.bind(self.listen_port)
+            # claim() (vs bind()) takes over an existing binding — after
+            # a live migration the port is still bound by the previous
+            # instance, and its queue holds the frames that arrived
+            # during the cutover; adopting it loses none of them.
+            claim = getattr(self.port_mux, "claim", None)
+            self.binding = (claim(self.listen_port) if claim is not None
+                            else self.port_mux.bind(self.listen_port))
 
     def main(self) -> Optional[Generator[Event, None, None]]:
         if not self._network_role:
@@ -167,6 +177,14 @@ class StreamerOffcode(Offcode):
         if not self._channel_ready.triggered:
             yield self._channel_ready
         while True:
+            if self._draining:
+                # Park at a chunk boundary: nothing half-forwarded, no
+                # pending recv holding a getter slot.  The migration
+                # tears this instance down; until then, stay put.
+                if not self._parked.triggered:
+                    self._parked.succeed()
+                yield self.site.sim.event()
+                continue
             if self.binding is not None:
                 packet = yield from self.binding.recv()
             else:
@@ -193,6 +211,22 @@ class StreamerOffcode(Offcode):
                     if self.data_channel is channel:
                         self.data_channel = None
             self.chunks_handled += 1
+
+    # -- migration quiesce -------------------------------------------------------------
+
+    def prepare_migrate(self) -> Generator[Event, None, None]:
+        """Park the receive loop at a chunk boundary.
+
+        Writes inside the loop are synchronous, so once the loop parks
+        every forwarded chunk has been acked (or is sitting in the
+        channel's unacked buffer, which the drain phase then empties) —
+        the cutover is exactly-once without replay.
+        """
+        if not self._network_role or self._main_process is None:
+            return
+        self._draining = True
+        if not self._parked.triggered:
+            yield self._parked
 
     # -- checkpoint/restore ------------------------------------------------------------
 

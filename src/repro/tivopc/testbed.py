@@ -35,8 +35,10 @@ from repro.hw.bus import BusSpec
 from repro.hostos.nfs import DeviceNfsClient, NFS_PORT, NfsServer
 from repro.hostos.sockets import UdpStack
 from repro.hw.machine import Machine, MachineSpec
+from repro.hw.nic import NicSpec
 from repro.media.mpeg import StreamConfig
 from repro.net.devport import DeviceNetPort, NicPortMux
+from repro.resilience import SupervisorConfig
 from repro.net.packet import Address
 from repro.net.switch import Switch, SwitchSpec
 from repro.sim.engine import Simulator
@@ -81,6 +83,14 @@ class TestbedConfig:
     # counters into its registry.  Off by default — the disabled path
     # costs one attribute check per instrumented site.
     telemetry: bool = False
+    # Resilience knobs (repro.resilience).  ``standby_nic`` adds a
+    # second programmable NIC ("nic1") to the client, registered as a
+    # standby device: the layout solver never places on it unless a
+    # migration explicitly targets it, so baseline placement stays
+    # byte-identical.  ``supervisor`` arms the client runtime's
+    # self-healing loop (quarantine, drain, admission control).
+    standby_nic: bool = False
+    supervisor: Optional[SupervisorConfig] = None
 
 
 @dataclass
@@ -111,6 +121,9 @@ class Testbed:
         self.config = config or TestbedConfig()
         self.sim = Simulator()
         self.rng = RandomStreams(self.config.seed)
+        # Seed-derived named streams for any subsystem that wants its
+        # own deterministic RNG (e.g. channel backoff jitter).
+        self.sim.rng_streams = self.rng
         self.switch = Switch(self.sim, SwitchSpec(),
                              rng=self.rng.stream("switch"))
 
@@ -130,11 +143,22 @@ class Testbed:
         self.disk_nfs = DeviceNfsClient(self.disk_port, self.nas_address)
         self.client_disk.attach_backing(self.disk_nfs)
 
+        # Standby migration target: a second programmable NIC on the
+        # client, added before the runtime enumerates devices.  It is
+        # deliberately *not* attached to the switch — a migrated network
+        # Offcode keeps receiving through the primary NIC's firmware
+        # port mux (claim() adopts the live binding and its buffered
+        # frames), which is what makes the cutover lossless.
+        if self.config.standby_nic:
+            self.client.machine.add_nic(NicSpec(name="nic1"))
+
         # HYDRA runtimes for the offload-aware variants.
         self.server_runtime = HydraRuntime(self.server.machine,
                                            kernel=self.server.kernel)
         self.client_runtime = HydraRuntime(self.client.machine,
                                            kernel=self.client.kernel)
+        if self.config.standby_nic:
+            self.client_runtime.standby_devices.add("nic1")
 
         # Firmware port muxes (lazy: only offloaded variants claim them).
         self._server_mux: Optional[NicPortMux] = None
@@ -208,6 +232,8 @@ class Testbed:
         if self.config.checkpoint is not None:
             self.server_runtime.start_checkpoints(self.config.checkpoint)
             self.client_runtime.start_checkpoints(self.config.checkpoint)
+        if self.config.supervisor is not None:
+            self.client_runtime.start_supervisor(self.config.supervisor)
         if self.fault_injector is not None:
             self.fault_injector.start()
 
