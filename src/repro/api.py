@@ -13,8 +13,12 @@ names elsewhere may move without notice.
 
 The surface groups by concern:
 
-* **Simulation** — :class:`Simulator`, :class:`RandomStreams` and the
-  waitable primitives.
+* **Simulation** — :class:`Simulator`, :class:`RandomStreams`, the
+  waitable primitives, and the blessed scheduling surface
+  ``sim.clock`` (:class:`Clock`: ``after``/``at``/``every``/
+  ``timeout``/``fence``, returning cancellable :class:`Timer`
+  handles).  ``Simulator.delay``/``Simulator.schedule`` remain as
+  :class:`DeprecationWarning` shims.
 * **Hardware** — :class:`Machine` and the programmable-device zoo.
 * **Host OS / network** — the simulated kernel, UDP stack and switch.
 * **Programming model** — :class:`HydraRuntime`,
@@ -45,6 +49,7 @@ from repro import units
 from repro.sim import (
     AllOf,
     AnyOf,
+    Clock,
     Event,
     Process,
     RandomStreams,
@@ -52,6 +57,7 @@ from repro.sim import (
     Simulator,
     Store,
     Timeout,
+    Timer,
 )
 
 # -- hardware ---------------------------------------------------------------------
@@ -210,6 +216,7 @@ __all__ = [
     # simulation
     "AllOf",
     "AnyOf",
+    "Clock",
     "Event",
     "Process",
     "RandomStreams",
@@ -217,6 +224,7 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "Timer",
     "units",
     # hardware
     "Bus",

@@ -140,8 +140,8 @@ class LoopbackProvider(ChannelProvider):
         cost = round(size_bytes * _LOCAL_COPY_NS_PER_BYTE) or 1
         if isinstance(site, HostSite):
             # A copying local channel streams through the L2 like memcpy.
-            self.machine.l2.access_range(0x3000_0000, size_bytes)
-            self.machine.l2.access_range(0x3400_0000, size_bytes, write=True)
+            self.machine.l2.touch_range(0x3000_0000, size_bytes)
+            self.machine.l2.touch_range(0x3400_0000, size_bytes, write=True)
         yield from site.execute(cost, context="channel")
 
     def transfer_vectored(self, channel: Channel, source: Endpoint,
@@ -159,8 +159,8 @@ class LoopbackProvider(ChannelProvider):
         total = batch.size_bytes
         cost = round(total * _LOCAL_COPY_NS_PER_BYTE) or 1
         if isinstance(site, HostSite):
-            self.machine.l2.access_range(0x3000_0000, total)
-            self.machine.l2.access_range(0x3400_0000, total, write=True)
+            self.machine.l2.touch_range(0x3000_0000, total)
+            self.machine.l2.touch_range(0x3400_0000, total, write=True)
         yield from site.execute(cost + _BATCH_UNBUNDLE_NS * batch.count,
                                 context="channel")
 

@@ -73,6 +73,7 @@ class ChaosProfile:
     max_bus_transients: int = 3
     checkpoint: bool = True
     telemetry: bool = False             # attach a repro.telemetry hub
+    scheduler: str = "wheel"            # event queue: "wheel" or "heap"
     # Resilience knobs (the flap/overload/drain presets in PROFILES).
     standby_nic: bool = False           # add "nic1" as a migration target
     supervisor: Optional[SupervisorConfig] = None
@@ -231,7 +232,8 @@ def run_chaos_scenario(seed: int, profile: Optional[ChaosProfile] = None
         checkpoint=CheckpointConfig() if profile.checkpoint else None,
         telemetry=profile.telemetry,
         standby_nic=profile.standby_nic,
-        supervisor=profile.supervisor))
+        supervisor=profile.supervisor,
+        scheduler=profile.scheduler))
     testbed.start()
     client = OffloadedClient(testbed, host_fallback=True)
     client.start()

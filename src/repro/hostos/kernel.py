@@ -118,12 +118,12 @@ class Kernel:
     def _tick_loop(self) -> Generator[Event, None, None]:
         tick = self.config.scheduler.tick_ns
         while True:
-            # sim.delay: pooled fast-path timeout (1 kHz per host — the
-            # single hottest timeout site in the whole simulation).
-            yield self.sim.delay(tick)
+            # Bare-int yield: the allocation-free fused sleep (1 kHz per
+            # host — the single hottest timeout site in the simulation).
+            yield tick
             self.ticks += 1
             # The tick handler touches a small slice of kernel text/data.
-            self.l2.access_range(self.config.kernel_text_base, 512)
+            self.l2.touch_range(self.config.kernel_text_base, 512)
             yield from self.cpu.execute(self.config.tick_cost_ns,
                                         context="kernel-tick")
 
@@ -132,7 +132,7 @@ class Kernel:
         work_rng = self.rng.stream("background-work")
         addr_rng = self.rng.stream("background-addr")
         while True:
-            yield self.sim.delay(cfg.period_ns)
+            yield cfg.period_ns
             work = max(cfg.work_min_ns,
                        round(work_rng.gauss(cfg.work_mean_ns,
                                             cfg.work_sigma_ns)))
@@ -141,7 +141,7 @@ class Kernel:
             # traffic evicts it and drives the miss rate up (Figure 10).
             offset = addr_rng.randrange(
                 0, max(1, cfg.working_set_bytes - cfg.touch_bytes_per_wake))
-            self.l2.access_range(self.config.background_base + offset,
+            self.l2.touch_range(self.config.background_base + offset,
                                  cfg.touch_bytes_per_wake)
             yield from self.cpu.execute(work, context="idle-daemons")
 
@@ -156,7 +156,7 @@ class Kernel:
             raise OSError_(f"negative sleep: {duration_ns}")
         nominal_wake = self.sim.now + duration_ns
         extra = self.wakeup.wakeup_delay_ns(nominal_wake)
-        yield self.sim.delay(duration_ns + extra)
+        yield duration_ns + extra
         yield from self.cpu.execute(self.config.context_switch_ns,
                                     context="kernel-sched")
 
@@ -166,7 +166,7 @@ class Kernel:
                 ) -> Generator[Event, None, None]:
         """Charge syscall entry/exit plus ``cost_ns`` of kernel work."""
         self.syscalls[name] = self.syscalls.get(name, 0) + 1
-        self.l2.access_range(self.config.kernel_text_base + 4096, 256)
+        self.l2.touch_range(self.config.kernel_text_base + 4096, 256)
         yield from self.cpu.execute(self.config.syscall_ns + cost_ns,
                                     context="kernel-syscall")
 
@@ -188,15 +188,15 @@ class Kernel:
             raise OSError_(f"negative copy size: {size}")
         if size == 0:
             return
-        self.l2.access_range(src, size)
-        self.l2.access_range(dst, size, write=True)
+        self.l2.touch_range(src, size)
+        self.l2.touch_range(dst, size, write=True)
         yield from self.cpu.execute(
             round(size * self.config.copy_ns_per_byte), context=context)
 
     def checksum(self, size: int, context: str = "kernel-net"
                  ) -> Generator[Event, None, None]:
         """Software checksum: read the payload once, charge per-byte cost."""
-        self.l2.access_range(self._next_kbuf(size), size)
+        self.l2.touch_range(self._next_kbuf(size), size)
         yield from self.cpu.execute(
             round(size * self.config.checksum_ns_per_byte), context=context)
 
@@ -215,6 +215,6 @@ class Kernel:
 
     def isr(self, extra_ns: int = 0) -> Generator[Event, None, None]:
         """Interrupt service: ISR cost + a touch of kernel text."""
-        self.l2.access_range(self.config.kernel_text_base + 8192, 384)
+        self.l2.touch_range(self.config.kernel_text_base + 8192, 384)
         yield from self.cpu.execute(self.config.interrupt_ns + extra_ns,
                                     context="kernel-isr")

@@ -219,8 +219,8 @@ class Bus:
         yield self._arbiter.request()
         start = self.sim.now
         try:
-            # Fast-path timeout (pooled): yielded immediately, never held.
-            yield self.sim.delay(self.transfer_time_ns(size_bytes))
+            # Bare-int yield: the engine's allocation-free fused sleep.
+            yield self.transfer_time_ns(size_bytes)
             if self._pending_transients > 0:
                 # Link-layer replay: the corrupted transaction is re-sent
                 # while the bus is still held, doubling its occupancy.
@@ -230,7 +230,7 @@ class Bus:
                            f"bus {self.spec.name}: transient error, replaying "
                            f"{src}->{dst}", bus=self.spec.name, src=src,
                            dst=dst, size_bytes=size_bytes)
-                yield self.sim.delay(self.transfer_time_ns(size_bytes))
+                yield self.transfer_time_ns(size_bytes)
         finally:
             self._arbiter.release()
             if span is not None:

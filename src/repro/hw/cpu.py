@@ -67,9 +67,8 @@ class Cpu:
             raise HardwareError(f"negative CPU work: {duration_ns}")
         yield self._resource.request()
         try:
-            # Fast-path timeout: single waiter, yielded immediately, so
-            # the engine can recycle it through its free list.
-            yield self.sim.delay(duration_ns)
+            # Bare-int yield: the engine's allocation-free fused sleep.
+            yield duration_ns
         finally:
             self._resource.release()
             self.total_busy += duration_ns

@@ -62,8 +62,8 @@ class SoftwareDecoder:
         # Touch compressed input and part of the reference/output area.
         base = cfg.decode_buffer_base + self._cursor
         self._cursor = (self._cursor + compressed_bytes) % (1 << 20)
-        self.kernel.l2.access_range(base, compressed_bytes)
-        self.kernel.l2.access_range(
+        self.kernel.l2.touch_range(base, compressed_bytes)
+        self.kernel.l2.touch_range(
             cfg.decode_buffer_base + (1 << 21),
             min(cfg.reference_bytes, compressed_bytes * 4), write=True)
         cost = round(compressed_bytes * cfg.ns_per_compressed_byte)

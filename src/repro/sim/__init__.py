@@ -3,6 +3,8 @@
 Public surface:
 
 * :class:`~repro.sim.engine.Simulator` — clock + event queue
+* :class:`~repro.sim.engine.Clock` (``sim.clock``) — the blessed
+  scheduling API — and its cancellable :class:`~repro.sim.engine.Timer`
 * :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Process`,
   :class:`~repro.sim.engine.Timeout`, :class:`~repro.sim.engine.AnyOf`,
   :class:`~repro.sim.engine.AllOf`
@@ -15,10 +17,12 @@ Public surface:
 from repro.sim.engine import (
     AllOf,
     AnyOf,
+    Clock,
     Event,
     Process,
     Simulator,
     Timeout,
+    Timer,
 )
 from repro.sim.profile import SimProfiler, profiled
 from repro.sim.resources import Container, Resource, Store
@@ -28,8 +32,10 @@ from repro.sim.trace import TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Clock",
     "Container",
     "Event",
+    "Timer",
     "Process",
     "RandomStreams",
     "Resource",

@@ -32,7 +32,7 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional
 
-from repro.sim.engine import Process, Simulator
+from repro.sim.engine import Process, Simulator, Timer
 
 __all__ = ["CategoryStats", "SimProfiler", "profiled"]
 
@@ -96,9 +96,38 @@ class SimProfiler:
         total.wall_s += elapsed
         total.sim_ns += advanced
 
+    def observe_cont(self, process) -> None:
+        """Dispatch a fused-sleep continuation and charge its process.
+
+        Called by the main loop *in place of* the inlined generator
+        resume when a fused ``clock.after`` entry pops.
+        """
+        sim = self.sim
+        advanced = sim.now - self._last_now
+        self._last_now = sim.now
+        label = _INSTANCE_SUFFIX.sub("-N", process.name)
+        start = perf_counter()
+        sim._resume_cont(process)
+        elapsed = perf_counter() - start
+        stats = self.categories.get(label)
+        if stats is None:
+            stats = self.categories[label] = CategoryStats()
+        stats.events += 1
+        stats.wall_s += elapsed
+        stats.sim_ns += advanced
+        total = self.total
+        total.events += 1
+        total.wall_s += elapsed
+        total.sim_ns += advanced
+
     @staticmethod
     def _label(event) -> str:
         """Category for an event: waiting process's name, else event class."""
+        if isinstance(event, Timer):
+            fn = event.fn
+            name = getattr(fn, "__qualname__", None) or getattr(
+                fn, "__name__", "fn")
+            return f"timer:{_INSTANCE_SUFFIX.sub('-N', name)}"
         callbacks = event.callbacks
         if callbacks:
             owner = getattr(callbacks[0], "__self__", None)

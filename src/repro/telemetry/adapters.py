@@ -25,8 +25,8 @@ from typing import List
 from repro.core import marshal
 from repro.telemetry.metrics import MetricsRegistry
 
-__all__ = ["bind_marshal", "bind_bus", "bind_runtime", "bind_injector",
-           "bind_testbed", "check_channel_conservation"]
+__all__ = ["bind_marshal", "bind_bus", "bind_sim", "bind_runtime",
+           "bind_injector", "bind_testbed", "check_channel_conservation"]
 
 _CHANNEL_COUNTERS = (
     ("repro_channel_sent_total", "sent", "Messages sent (wire attempts)"),
@@ -90,6 +90,33 @@ def bind_bus(registry: MetricsRegistry, bus, name: str) -> None:
         transfers.set_total(sum(bus.crossings.values()))
         sg_transfers.set_total(bus.sg_transfers)
         transients.set_total(bus.transient_faults)
+
+    registry.register_collector(collect)
+
+
+def bind_sim(registry: MetricsRegistry, sim) -> None:
+    """Export the scheduler core's observability counters.
+
+    ``repro_sim_dead_timers`` is the wheel's cancelled-but-unreclaimed
+    entry gauge: cancellations that could not be removed in place (the
+    entry had already been promoted to the sorted window or parked in
+    the overflow heap) sit in the queue until popped or swept by
+    ``Simulator.reclaim()``.  A gauge stuck high means cancelled timers
+    are accumulating faster than the reclaim threshold sweeps them.
+    """
+    events = registry.counter(
+        "repro_sim_events_total", help="Events dispatched by the scheduler")
+    fused = registry.counter(
+        "repro_sim_fused_resumes_total",
+        help="Events dispatched via the fused-sleep fast path")
+    dead = registry.gauge(
+        "repro_sim_dead_timers",
+        help="Cancelled timer entries awaiting lazy removal from the wheel")
+
+    def collect(_registry: MetricsRegistry) -> None:
+        events.set_total(sim.events_processed)
+        fused.set_total(sim.fused_resumes)
+        dead.set(sim.dead_timers)
 
     registry.register_collector(collect)
 
@@ -267,6 +294,7 @@ def bind_injector(registry: MetricsRegistry, injector) -> None:
 def bind_testbed(registry: MetricsRegistry, testbed) -> None:
     """Bind every observable subsystem of a TiVoPC testbed."""
     bind_marshal(registry)
+    bind_sim(registry, testbed.sim)
     for host in (testbed.nas, testbed.server, testbed.client):
         bind_bus(registry, host.machine.bus, host.name)
     bind_runtime(registry, testbed.server_runtime, "server")

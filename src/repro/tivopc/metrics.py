@@ -90,8 +90,11 @@ class PeriodicSampler:
         self.cpu_sampler = CpuSampler(cpu)
         self.cache = cache
         self.period_ns = period_ns
-        self._last_cache = cache.stats.snapshot() if cache else None
-        self.cache_windows: List[CacheStats] = []
+        # Lazy pins: sampling marks the window boundary without forcing
+        # the cache to classify its deferred touches mid-run; the pins
+        # resolve (one ordered log replay) when results are read.
+        self._last_pin = cache.stats_pin() if cache else None
+        self._window_pins: List[Tuple[object, object]] = []
 
     def process(self) -> Generator[Event, None, None]:
         """The sampling loop; spawn on the simulator for the run."""
@@ -99,11 +102,17 @@ class PeriodicSampler:
             yield self.sim.timeout(self.period_ns)
             self.cpu_sampler.sample()
             if self.cache is not None:
-                current = self.cache.stats.snapshot()
-                self.cache_windows.append(current.delta(self._last_cache))
-                self._last_cache = current
+                pin = self.cache.stats_pin()
+                self._window_pins.append((self._last_pin, pin))
+                self._last_pin = pin
 
     # -- results -----------------------------------------------------------------
+
+    @property
+    def cache_windows(self) -> List[CacheStats]:
+        """Per-window counter deltas (resolves the pins)."""
+        return [cur.resolve().delta(prev.resolve())
+                for prev, cur in self._window_pins]
 
     def cpu_stats(self) -> SummaryStats:
         """Summary over the per-window CPU utilizations."""

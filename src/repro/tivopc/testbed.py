@@ -91,6 +91,11 @@ class TestbedConfig:
     # self-healing loop (quarantine, drain, admission control).
     standby_nic: bool = False
     supervisor: Optional[SupervisorConfig] = None
+    # Event-queue implementation: "wheel" (default, the hierarchical
+    # timer wheel) or "heap" (flat binary heap).  Both pop in identical
+    # (time, priority, seq) order; the heap exists as the differential-
+    # test reference (tests/test_sim_differential.py).
+    scheduler: str = "wheel"
 
 
 @dataclass
@@ -119,7 +124,7 @@ class Testbed:
 
     def __init__(self, config: Optional[TestbedConfig] = None) -> None:
         self.config = config or TestbedConfig()
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=self.config.scheduler)
         self.rng = RandomStreams(self.config.seed)
         # Seed-derived named streams for any subsystem that wants its
         # own deterministic RNG (e.g. channel backoff jitter).

@@ -89,3 +89,27 @@ def test_all_exports_resolve():
 
 def test_version_is_exposed():
     assert repro.__version__
+
+
+# -- scheduler boundary ---------------------------------------------------------------
+
+
+def test_heapq_confined_to_the_engine():
+    """The timer wheel in ``repro.sim.engine`` is the only module that
+    may touch ``heapq`` (its overflow level is a heap); everything else
+    schedules through the blessed ``sim.clock`` API.  Mirrors the ruff
+    TID251 ban in pyproject.toml so the boundary holds even where ruff
+    is not installed.
+    """
+    import pathlib
+    import re
+
+    src = pathlib.Path(repro.__file__).resolve().parent
+    pattern = re.compile(r"^\s*(import heapq|from heapq import)", re.M)
+    offenders = [
+        str(path.relative_to(src.parent))
+        for path in sorted(src.rglob("*.py"))
+        if path.name != "engine.py" and pattern.search(path.read_text())
+    ]
+    assert offenders == [], (
+        f"heapq imported outside repro.sim.engine: {offenders}")

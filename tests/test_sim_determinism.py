@@ -40,16 +40,40 @@ def test_tivopc_run_identical_with_pooling_disabled():
     pooled_records, pooled_sim, pooled_client = _traced_tivopc_run(True)
     plain_records, plain_sim, plain_client = _traced_tivopc_run(False)
 
-    # Pooling actually engaged in the pooled run and not in the other,
-    # so the comparison below is between genuinely different code paths.
-    assert pooled_sim.pool_recycled > 0
-    assert plain_sim.pool_recycled == 0
-
     assert pooled_sim.events_processed == plain_sim.events_processed
     assert pooled_sim.now == plain_sim.now
     assert pooled_client.jitter.arrivals_ns == plain_client.jitter.arrivals_ns
     # Bit-identical traces: every record, field for field, in order.
     assert pooled_records == plain_records
+
+
+def test_deferred_pool_recycles_value_carrying_sleeps():
+    """Value-carrying sleeps go through the pooled ``_Deferred``; the
+    pool must engage (``pool_recycled`` grows) without changing results,
+    and zeroing the pool limit must disable recycling entirely.
+    """
+
+    def workload(sim):
+        out = []
+
+        def proc():
+            for i in range(50):
+                out.append((yield sim.clock.after(10, value=i)))
+
+        sim.spawn(proc())
+        sim.run()
+        return out
+
+    pooled = Simulator()
+    expected = workload(pooled)
+    assert expected == list(range(50))
+    assert pooled.pool_recycled > 0
+
+    plain = Simulator()
+    plain._pool_limit = 0
+    assert workload(plain) == expected
+    assert plain.pool_recycled == 0
+    assert pooled.now == plain.now
 
 
 def test_seeded_tivopc_runs_are_reproducible():
@@ -105,19 +129,20 @@ def test_interrupt_abandons_large_condition_lazily():
 def test_stale_pooled_timeout_wakeup_is_dropped():
     """A recycled fast-path timeout must not resume an old waiter.
 
-    The waiter abandons a ``sim.delay`` via interrupt; when the
-    original delay fires (and its event object is recycled), the stale
-    callback must be discarded by the ``_waiting_on`` identity check.
+    The waiter abandons a ``clock.after`` sleep via interrupt; when
+    the original sleep fires (and its handle is recycled), the stale
+    entry must be discarded by the continuation-sequence check.
     """
     sim = Simulator()
     order = []
 
     def sleeper():
         try:
-            yield sim.delay(1_000)
+            yield sim.clock.after(1_000)
         except InterruptError:
             order.append(("interrupted", sim.now))
-        order.append(("woke", (yield sim.delay(2_000, "late")), sim.now))
+        order.append(
+            ("woke", (yield sim.clock.after(2_000, value="late")), sim.now))
 
     proc = sim.spawn(sleeper())
 

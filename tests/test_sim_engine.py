@@ -149,11 +149,28 @@ def test_yield_non_event_rejected():
     sim = Simulator()
 
     def bad(sim):
-        yield 123  # type: ignore[misc]
+        yield "not an event"  # type: ignore[misc]
 
     sim.spawn(bad(sim))
     with pytest.raises(ProcessError):
         sim.run()
+
+
+def test_yield_bare_int_sleeps():
+    # A bare non-negative int is the blessed zero-allocation sleep token
+    # (what clock.after(dt) returns when no fn/value is attached).
+    sim = Simulator()
+    out = []
+
+    def sleeper(sim):
+        yield 250
+        out.append(sim.now)
+        yield 0
+        out.append(sim.now)
+
+    sim.spawn(sleeper(sim))
+    sim.run()
+    assert out == [250, 250]
 
 
 def test_manual_event_succeed():

@@ -11,7 +11,7 @@ def _workload(sim, n=50):
 
     def ticker(period):
         for _ in range(n):
-            yield sim.delay(period)
+            yield sim.clock.after(period)
 
     for i in range(4):
         sim.spawn(ticker(1_000 + i), name=f"ticker-{i}")
