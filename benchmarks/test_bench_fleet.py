@@ -1,0 +1,64 @@
+"""Fleet scaling benchmark: sharded throughput and scaling efficiency.
+
+Two kinds of assertion, split by what wall-clock noise can touch:
+
+* **Noise-free invariants, gated on the live run**: the sharded
+  population conserves chunks (per shard and in aggregate), dispatches
+  ~1 simulation event per chunk (the scale model's contract), and
+  labels its scaling numbers with their basis — ``measured`` when the
+  affinity mask covers the worker count, ``projected_lpt`` otherwise.
+* **The >= 3x-at-4-workers bar, gated on the committed baseline**:
+  regenerated on the reference machine whenever a deliberate perf
+  change lands; this test verifies the committed artifact upholds it
+  so the scaling claim cannot regress silently.
+"""
+
+import json
+
+from conftest import publish
+
+from harness import (
+    DEFAULT_BENCH_JSON,
+    FLEET_CLIENTS,
+    FLEET_SHARDS,
+    run_all,
+)
+
+
+def test_bench_fleet_scaling(one_shot):
+    report = one_shot(run_all, ["fleet"], repeat=1)
+    fleet = report["benchmarks"]["fleet"]
+    publish("fleet_scaling", "\n".join([
+        f"Fleet scaling -- {FLEET_CLIENTS} chunk-fidelity subscribers, "
+        f"{FLEET_SHARDS} shards",
+        f"1-worker rate        {fleet['events_per_sec']:>14,.0f} ev/s",
+        f"2-worker rate        {fleet['events_per_sec_2w']:>14,.0f} ev/s "
+        f"({fleet['speedup_basis_2w']})",
+        f"4-worker rate        {fleet['events_per_sec_4w']:>14,.0f} ev/s "
+        f"({fleet['speedup_basis_4w']})",
+        f"speedup 2w / 4w      {fleet['speedup_2w']:>8.2f}x / "
+        f"{fleet['speedup_4w']:.2f}x",
+        f"efficiency 2w / 4w   {fleet['efficiency_2w']:>8.2f} / "
+        f"{fleet['efficiency_4w']:.2f}",
+        f"dispatch+merge       {fleet['dispatch_merge_overhead_s']:>11.3f} s",
+    ]), data=fleet)
+
+    # Simulated work is seeded and exact whatever the worker count.
+    assert fleet["conservation_ok"] == 1
+    assert fleet["clients"] == FLEET_CLIENTS
+    assert fleet["sim_ns"] == FLEET_SHARDS * 2_000_000_000
+    # The chunk tier's reason to exist: ~1 event per chunk.  399 chunks
+    # per subscriber over 2 s at 5 ms pacing, plus one horizon wakeup.
+    assert fleet["events"] == FLEET_CLIENTS * 401
+    # Scaling numbers must declare what they are.
+    assert fleet["speedup_basis_2w"] in ("measured", "projected_lpt")
+    assert fleet["speedup_basis_4w"] in ("measured", "projected_lpt")
+    assert fleet["speedup_2w"] > 0 and fleet["speedup_4w"] > 0
+
+    # The committed baseline carries the acceptance bar: >= 3x aggregate
+    # events/sec at 4 workers vs 1, with its basis recorded.
+    committed = json.loads(DEFAULT_BENCH_JSON.read_text())["benchmarks"]
+    assert committed["fleet"]["speedup_4w"] >= 3.0
+    assert committed["fleet"]["events_per_sec_4w"] >= \
+        3.0 * committed["fleet"]["events_per_sec"]
+    assert "speedup_basis_4w" in committed["fleet"]

@@ -181,6 +181,7 @@ from repro.telemetry import (
     Span,
     SpanContext,
     Telemetry,
+    merge_snapshots,
 )
 
 # -- virtualization --------------------------------------------------------------------
@@ -193,10 +194,21 @@ from repro.tivopc import (
     MeasurementClient,
     OffloadedClient,
     OffloadedServer,
+    PopulationConfig,
     SummaryStats,
     Testbed,
     TestbedConfig,
     UserSpaceClient,
+    run_population,
+    validate_fidelity,
+)
+
+# -- fleet-scale sharded runs ------------------------------------------------------------
+from repro.evaluation.fleet import (
+    FleetConfig,
+    FleetReport,
+    run_fleet,
+    shard_seed,
 )
 
 # -- errors ------------------------------------------------------------------------------
@@ -332,6 +344,7 @@ __all__ = [
     "Span",
     "SpanContext",
     "Telemetry",
+    "merge_snapshots",
     # virtualization
     "OffloadedVmm",
     "SoftwareVmm",
@@ -341,10 +354,18 @@ __all__ = [
     "MeasurementClient",
     "OffloadedClient",
     "OffloadedServer",
+    "PopulationConfig",
     "SummaryStats",
     "Testbed",
     "TestbedConfig",
     "UserSpaceClient",
+    "run_population",
+    "validate_fidelity",
+    # fleet-scale sharded runs
+    "FleetConfig",
+    "FleetReport",
+    "run_fleet",
+    "shard_seed",
     # errors
     "AdmissionShedError",
     "ChannelError",

@@ -119,6 +119,22 @@ def _artifact_sweeps(seconds: float, seed: int,
     return rate + "\n\n" + chunk
 
 
+def _artifact_fleet(seconds: float, seed: int, workers: int = 1,
+                    clients: int = 64, shards: int = 4,
+                    fidelity: str = "chunk", loss_rate: float = 0.0,
+                    artifacts_dir: Optional[str] = None) -> str:
+    from repro.evaluation.fleet import FleetConfig, run_fleet
+    from repro.evaluation.reporting import render_fleet_report
+    from repro.tivopc.population import PopulationConfig
+
+    report = run_fleet(FleetConfig(
+        population=PopulationConfig(
+            clients=clients, seconds=min(seconds, 5.0), fidelity=fidelity,
+            loss_rate=loss_rate, fleet_seed=seed),
+        shards=shards, workers=workers), artifacts_dir=artifacts_dir)
+    return render_fleet_report(report)
+
+
 def _artifact_profile(seconds: float, seed: int,
                       workers: int = 1) -> str:
     """Hot-loop attribution for a Simple-server TiVoPC run."""
@@ -143,6 +159,7 @@ ARTIFACTS: Dict[str, Callable[..., str]] = {
     "table2": _artifact_table2,
     "table3": _artifact_table3,
     "table4": _artifact_table4,
+    "fleet": _artifact_fleet,
     "ilp": _artifact_ilp,
     "power": _artifact_power,
     "profile": _artifact_profile,
@@ -164,14 +181,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0,
                         help="root RNG seed (default: 0)")
     parser.add_argument("--workers", type=int, default=1,
-                        help="process-pool size for sweep artifacts "
+                        help="process-pool size for sweep/fleet artifacts "
                              "(default: 1 = sequential; 0 = one per CPU)")
+    parser.add_argument("--clients", type=int, default=64,
+                        help="fleet: subscriber count (default: 64)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="fleet: shard count (default: 4)")
+    parser.add_argument("--fidelity", choices=("chunk", "detailed"),
+                        default="chunk",
+                        help="fleet: model tier (default: chunk)")
+    parser.add_argument("--loss-rate", type=float, default=0.0,
+                        help="fleet: chunk-tier Bernoulli loss "
+                             "(default: 0)")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="fleet: write shard-*.json + fleet.json here")
     args = parser.parse_args(argv)
     workers = None if args.workers == 0 else args.workers
 
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     for name in names:
-        print(ARTIFACTS[name](args.seconds, args.seed, workers=workers))
+        extra = {}
+        if name == "fleet":
+            extra = {"clients": args.clients, "shards": args.shards,
+                     "fidelity": args.fidelity,
+                     "loss_rate": args.loss_rate,
+                     "artifacts_dir": args.artifacts}
+        print(ARTIFACTS[name](args.seconds, args.seed, workers=workers,
+                              **extra))
         print()
     return 0
 

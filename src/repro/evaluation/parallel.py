@@ -22,21 +22,53 @@ process.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
 from repro.evaluation import sweeps as _sweeps
 from repro.media.mpeg import StreamConfig
 
-__all__ = ["SweepTask", "default_workers", "run_tasks"]
+__all__ = ["SweepTask", "default_workers", "fork_context", "map_unordered",
+           "run_tasks"]
 
 # One unit of work: (scenario, stream, seconds, seed).
 SweepTask = Tuple[str, StreamConfig, float, int]
 
 
 def default_workers() -> int:
-    """Worker count for ``workers=None``: one per available CPU."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count for ``workers=None``: one per *available* CPU.
+
+    "Available" means the process's CPU affinity mask, not the machine's
+    CPU count — in a cgroup-pinned CI container ``os.cpu_count()``
+    reports the host's cores while the runner may hold a single one, and
+    oversubscribing fork workers there is strictly slower.  Platforms
+    without ``sched_getaffinity`` (macOS) fall back to the CPU count.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:           # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return max(1, cpus)
+
+
+def fork_context():
+    """The ``fork`` multiprocessing context, or a clear error without it.
+
+    Every parallel runner here relies on fork inheritance (workers reuse
+    the parent's imported modules; closures over rich configs never
+    pickle).  Requesting the context lazily inside the pool would crash
+    with an opaque ``ValueError`` mid-dispatch on spawn-only platforms —
+    fail up front instead, naming the fix.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError as exc:
+        raise ReproError(
+            "this platform has no 'fork' start method (Windows, or a "
+            "spawn-only build); run with workers=1 instead"
+        ) from exc
 
 
 def _run_task(task: SweepTask):
@@ -63,6 +95,31 @@ def run_tasks(tasks: Sequence[SweepTask],
         return [_run_task(task) for task in tasks]
     # fork context: inherits the loaded modules, so workers skip
     # re-importing the package and StreamConfig pickles stay tiny.
-    from multiprocessing import get_context
-    with get_context("fork").Pool(processes=min(workers, len(tasks))) as pool:
+    with fork_context().Pool(processes=min(workers, len(tasks))) as pool:
         return pool.map(_run_task, tasks)
+
+
+def map_unordered(fn: Callable, items: Sequence, workers: int,
+                  chunksize: int = 1) -> Iterable:
+    """Yield ``fn(item)`` results as workers finish, pool kept warm.
+
+    The fleet runner's dispatch primitive: one persistent fork pool for
+    the whole item list, ``imap_unordered`` so a slow shard never blocks
+    a finished one from draining, and ``chunksize`` batching so each
+    worker picks up its next shard without a round-trip through the
+    parent.  Callers that need deterministic output must carry an index
+    in the result and reorder — completion order is *not* stable.
+
+    ``workers=1`` runs in-process (same code path, no fork), which is
+    what the determinism tests diff against.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    items = list(items)
+    if workers == 1 or len(items) <= 1:
+        for item in items:
+            yield fn(item)
+        return
+    with fork_context().Pool(processes=min(workers, len(items))) as pool:
+        for result in pool.imap_unordered(fn, items, chunksize=chunksize):
+            yield result

@@ -7,7 +7,10 @@ paper's published values wherever the paper gives numbers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from repro.evaluation.fleet import FleetReport
 
 from repro.evaluation.experiments import (
     ClientScenarioResult,
@@ -30,6 +33,7 @@ __all__ = [
     "render_fig10",
     "render_fig1",
     "render_client_l2",
+    "render_fleet_report",
     "render_ilp_ablation",
     "render_power_ablation",
 ]
@@ -180,6 +184,41 @@ def render_ilp_ablation(result: IlpComparisonResult) -> str:
     return format_table(
         "Ablation: ILP (exact) vs greedy placement (Section 5 claim)",
         ["metric", "value", "paper claim"], rows)
+
+
+def render_fleet_report(report: "FleetReport") -> str:
+    """Render a fleet run: per-shard accounting, QoE percentiles,
+    conservation verdict."""
+    pop = report.config.population
+    rows = [[str(s.shard_id), str(s.clients), str(s.events),
+             str(s.totals["chunks_sent"]), str(s.totals["chunks_delivered"]),
+             str(s.totals["chunks_lost"]), f"{s.wall_s:.3f}"]
+            for s in report.shards]
+    rows.append(["all", str(sum(s.clients for s in report.shards)),
+                 str(report.events), str(report.totals["chunks_sent"]),
+                 str(report.totals["chunks_delivered"]),
+                 str(report.totals["chunks_lost"]),
+                 f"{report.wall_s:.3f}"])
+    shard_table = format_table(
+        f"Fleet: {pop.clients} clients x {pop.seconds:g}s "
+        f"({pop.fidelity} fidelity, seed {pop.fleet_seed}), "
+        f"{report.config.shards} shards / {report.workers} workers",
+        ["shard", "clients", "events", "sent", "delivered", "lost",
+         "wall s"], rows)
+    qoe_rows = [[metric,
+                 f"{summary['p50']:.3f}", f"{summary['p90']:.3f}",
+                 f"{summary['p99']:.3f}", f"{summary['max']:.3f}"]
+                for metric, summary in sorted(report.qoe.items())]
+    qoe_table = format_table(
+        "Per-client QoE (ms)", ["metric", "p50", "p90", "p99", "max"],
+        qoe_rows)
+    verdict = ("conservation: OK (per shard and aggregate, exact sums)"
+               if report.ok else
+               "CONSERVATION VIOLATIONS:\n  " +
+               "\n  ".join(report.violations))
+    rate = (f"aggregate rate: {report.events_per_sec:,.0f} events/sec "
+            f"over {report.wall_s:.3f}s wall")
+    return "\n\n".join([shard_table, qoe_table, verdict, rate])
 
 
 def render_power_ablation(results: Dict[str, PowerComparisonResult]

@@ -24,7 +24,8 @@ from repro.errors import ReproError
 from repro.hostos.kernel import Kernel
 from repro.sim.engine import Event
 
-__all__ = ["SoftwareDecoderConfig", "SoftwareDecoder", "DECODE_EXPANSION"]
+__all__ = ["SoftwareDecoderConfig", "SoftwareDecoder", "ChunkDecodeModel",
+           "DECODE_EXPANSION"]
 
 # Compressed-to-raw expansion factor shared with the GPU model.
 DECODE_EXPANSION = 20
@@ -39,6 +40,48 @@ class SoftwareDecoderConfig:
     decode_buffer_base: int = 0x0C00_0000
     # Working area the decoder walks per frame (reference frames etc.).
     reference_bytes: int = 128 * 1024
+
+
+class ChunkDecodeModel:
+    """Per-chunk decode accounting for the scale-model fidelity tier.
+
+    The detailed Streamer→Decoder path spends tens of simulation events
+    per chunk (extraction, channel writes, per-frame decode and display,
+    cache walks).  Population-scale runs cannot afford that, so the
+    ``fidelity="chunk"`` tier folds the whole pipeline into arithmetic:
+    one call per delivered chunk, no events, no site execution.  The
+    frame accumulation mirrors :class:`repro.tivopc.components.
+    DecoderOffcode` exactly — bytes buffer up and a frame completes per
+    ``frame_bytes`` — so chunk counts and frame totals agree with the
+    detailed model by construction, and the deviation the fidelity
+    validation measures comes only from the timing model.
+    """
+
+    __slots__ = ("frame_bytes", "bytes_buffered", "bytes_decoded",
+                 "frames_decoded")
+
+    def __init__(self, frame_bytes: int = 8 * 1024) -> None:
+        if frame_bytes <= 0:
+            raise ReproError(f"frame size must be positive: {frame_bytes}")
+        self.frame_bytes = frame_bytes
+        self.bytes_buffered = 0
+        self.bytes_decoded = 0
+        self.frames_decoded = 0
+
+    def on_chunk(self, size_bytes: int) -> int:
+        """Account one delivered chunk; returns frames completed by it."""
+        self.bytes_buffered += size_bytes
+        frames = self.bytes_buffered // self.frame_bytes
+        if frames:
+            self.bytes_buffered -= frames * self.frame_bytes
+            self.frames_decoded += frames
+            self.bytes_decoded += frames * self.frame_bytes
+        return frames
+
+    @property
+    def raw_bytes_out(self) -> int:
+        """Raw output bytes, via the shared expansion factor."""
+        return self.bytes_decoded * DECODE_EXPANSION
 
 
 class SoftwareDecoder:

@@ -22,6 +22,19 @@ class RandomStreams:
         self.root_seed = int(root_seed)
         self._streams: Dict[str, random.Random] = {}
 
+    def derive(self, name: str) -> int:
+        """The stable 64-bit seed for ``name`` under this root seed.
+
+        This is the hash behind :meth:`stream`, exposed so seeds can
+        cross process boundaries as plain integers: the fleet runner
+        derives per-shard and per-client seeds here
+        (``hash(fleet_seed, shard_id)``) and ships them to workers,
+        where they reconstruct identical streams.
+        """
+        digest = hashlib.sha256(
+            f"{self.root_seed}:{name}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use.
 
@@ -29,10 +42,7 @@ class RandomStreams:
         same name always yields the same sequence for a given root seed.
         """
         if name not in self._streams:
-            digest = hashlib.sha256(
-                f"{self.root_seed}:{name}".encode("utf-8")).digest()
-            seed = int.from_bytes(digest[:8], "big")
-            self._streams[name] = random.Random(seed)
+            self._streams[name] = random.Random(self.derive(name))
         return self._streams[name]
 
     def fork(self, name: str) -> "RandomStreams":

@@ -21,6 +21,7 @@ or run a packaged scenario: ``python -m repro.telemetry --scenario
 tivopc``.
 """
 
+from repro.telemetry.merge import merge_snapshots
 from repro.telemetry.metrics import (Counter, Gauge, Histogram,
                                      MetricFamily, MetricsRegistry)
 from repro.telemetry.spans import (Span, SpanContext, Telemetry,
@@ -28,4 +29,4 @@ from repro.telemetry.spans import (Span, SpanContext, Telemetry,
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricFamily",
            "MetricsRegistry", "Span", "SpanContext", "Telemetry",
-           "TelemetryEvent"]
+           "TelemetryEvent", "merge_snapshots"]

@@ -1,0 +1,97 @@
+"""Folding per-shard metric snapshots into one fleet snapshot.
+
+A fleet run produces one :meth:`~repro.telemetry.metrics.MetricsRegistry.
+snapshot` per shard.  This module merges them into a single snapshot of
+the same schema, with type-correct semantics per family:
+
+* **counter** — values sum (shard counters count disjoint work);
+* **gauge** — values sum as well: every fleet gauge is an extensive
+  quantity (clients simulated, channels open), and summing is the only
+  merge that keeps ``merged == whole-run`` exact;
+* **histogram** — counts, sums and per-bucket cumulative counts add
+  element-wise (shards share bucket bounds by construction, and the
+  merge refuses mismatched ones rather than guessing).
+
+Determinism: samples are keyed on their *sorted label items*, families
+on their names, and the merged output is emitted in sorted order — so
+the result is byte-identical (via ``json.dumps(sort_keys=True)``)
+whatever order the shard snapshots arrive in.  Combined with integer
+counter values this gives the fleet report exact sum equality: the
+merged totals equal the per-shard totals added on paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["merge_snapshots"]
+
+# A sample's identity within a family: its sorted (label, value) items.
+_SampleKey = Tuple[Tuple[str, str], ...]
+
+
+def _key(sample: Dict[str, Any]) -> _SampleKey:
+    return tuple(sorted(sample["labels"].items()))
+
+
+def _merge_sample(kind: str, name: str, into: Dict[str, Any],
+                  sample: Dict[str, Any]) -> None:
+    if kind == "histogram":
+        if [le for le, _ in into["buckets"]] != \
+                [le for le, _ in sample["buckets"]]:
+            raise ReproError(
+                f"{name}: histogram bucket bounds differ across shards")
+        into["count"] += sample["count"]
+        into["sum"] += sample["sum"]
+        into["buckets"] = [[le, n + m] for (le, n), (_, m)
+                           in zip(into["buckets"], sample["buckets"])]
+    else:
+        into["value"] += sample["value"]
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold shard snapshots into one; order of ``snapshots`` is
+    irrelevant to the result.
+
+    Families missing from some shards merge fine (a shard that never
+    touched a subsystem simply contributes nothing); a family appearing
+    with different *types* across shards is a schema bug and raises.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    merged_samples: Dict[str, Dict[_SampleKey, Dict[str, Any]]] = {}
+    for snapshot in snapshots:
+        for name in sorted(snapshot):
+            family = snapshot[name]
+            if name not in merged:
+                merged[name] = {"type": family["type"],
+                                "help": family["help"], "samples": []}
+                merged_samples[name] = {}
+            elif merged[name]["type"] != family["type"]:
+                raise ReproError(
+                    f"{name}: type differs across shards "
+                    f"({merged[name]['type']} vs {family['type']})")
+            kind = family["type"]
+            by_key = merged_samples[name]
+            for sample in family["samples"]:
+                key = _key(sample)
+                into = by_key.get(key)
+                if into is None:
+                    # Deep-enough copy: labels/buckets are ours to mutate.
+                    into = dict(sample)
+                    into["labels"] = dict(sorted(sample["labels"].items()))
+                    if kind == "histogram":
+                        into["buckets"] = [list(b)
+                                           for b in sample["buckets"]]
+                    by_key[key] = into
+                else:
+                    _merge_sample(kind, name, into, sample)
+    out: Dict[str, Any] = {}
+    for name in sorted(merged):
+        samples: List[Dict[str, Any]] = [
+            merged_samples[name][key]
+            for key in sorted(merged_samples[name])]
+        out[name] = {"type": merged[name]["type"],
+                     "help": merged[name]["help"], "samples": samples}
+    return out

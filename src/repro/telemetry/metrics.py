@@ -286,13 +286,24 @@ class MetricsRegistry:
         return [self._families[name] for name in sorted(self._families)]
 
     def snapshot(self) -> Dict[str, Any]:
-        """Machine-readable dump of every family (collectors run first)."""
+        """Machine-readable dump of every family (collectors run first).
+
+        Canonical form: families sorted by name, each sample's label set
+        serialized in sorted ``label name`` order, and samples ordered
+        by those sorted ``(name, value)`` items — never by family
+        declaration order.  Two registries holding the same values
+        therefore snapshot identically even when their families were
+        declared with differently-ordered label tuples or their children
+        were touched in a different sequence, which is what makes merged
+        fleet artifacts byte-identical regardless of shard completion
+        order (:mod:`repro.telemetry.merge`).
+        """
         self.collect()
         out: Dict[str, Any] = {}
         for family in self.families():
             samples = []
             for label_values, child in family.samples():
-                labels = dict(zip(family.label_names, label_values))
+                labels = dict(sorted(zip(family.label_names, label_values)))
                 if family.kind == "histogram":
                     samples.append({
                         "labels": labels, "count": child.count,
@@ -302,6 +313,7 @@ class MetricsRegistry:
                     })
                 else:
                     samples.append({"labels": labels, "value": child.value})
+            samples.sort(key=lambda s: sorted(s["labels"].items()))
             out[family.name] = {"type": family.kind, "help": family.help,
                                 "samples": samples}
         return out

@@ -29,6 +29,17 @@ from repro.tivopc.metrics import (
     cdf_points,
     histogram,
 )
+from repro.tivopc.population import (
+    CHUNK_TOLERANCES,
+    FidelityTolerances,
+    FidelityValidation,
+    PopulationConfig,
+    PopulationResult,
+    SubscriberStats,
+    client_seed,
+    run_population,
+    validate_fidelity,
+)
 from repro.tivopc.server import (
     OffloadedServer,
     SENDFILE_COSTS,
@@ -40,8 +51,11 @@ from repro.tivopc.testbed import Host, MEDIA_PORT, Testbed, TestbedConfig
 
 __all__ = [
     "BroadcastOffcode",
+    "CHUNK_TOLERANCES",
     "DecoderOffcode",
     "DisplayOffcode",
+    "FidelityTolerances",
+    "FidelityValidation",
     "FileOffcode",
     "GuiController",
     "Host",
@@ -51,11 +65,14 @@ __all__ = [
     "OffloadedClient",
     "OffloadedServer",
     "PeriodicSampler",
+    "PopulationConfig",
+    "PopulationResult",
     "SENDFILE_COSTS",
     "SIMPLE_COSTS",
     "SendfileServer",
     "SimpleServer",
     "StreamerOffcode",
+    "SubscriberStats",
     "SummaryStats",
     "Testbed",
     "TestbedConfig",
@@ -63,5 +80,8 @@ __all__ = [
     "UserClientCosts",
     "UserSpaceClient",
     "cdf_points",
+    "client_seed",
     "histogram",
+    "run_population",
+    "validate_fidelity",
 ]

@@ -99,8 +99,16 @@ def test_cli_rejects_unknown_artifact():
 
 def test_cli_artifact_registry_complete():
     assert set(ARTIFACTS) == {"fig1", "fig9", "fig10", "table2",
-                              "table3", "table4", "ilp", "power",
-                              "profile", "sweeps"}
+                              "table3", "table4", "fleet", "ilp",
+                              "power", "profile", "sweeps"}
+
+
+def test_cli_fleet(capsys):
+    assert main(["fleet", "--seconds", "1", "--clients", "16",
+                 "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet: 16 clients" in out
+    assert "conservation: OK" in out
 
 
 @pytest.mark.slow

@@ -1,0 +1,151 @@
+"""The sharded fleet runner: determinism, conservation, merged artifacts.
+
+The satellite contract this file pins: ``shards=4, workers=4`` is
+point-identical to ``shards=4, workers=1`` (byte-identical canonical
+reports), and re-partitioning the same population into different shard
+counts preserves the aggregate conservation totals exactly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.fleet import (
+    FleetConfig,
+    lpt_makespan,
+    partition,
+    run_fleet,
+    shard_seed,
+)
+from repro.sim.rng import RandomStreams
+from repro.tivopc.population import PopulationConfig
+
+# Small populations keep each test under a second; the chunk tier makes
+# even 64 subscribers cheap.
+_POP = PopulationConfig(clients=64, seconds=1.0, loss_rate=0.02,
+                        fleet_seed=5)
+
+
+# -- partitioning and seeds ---------------------------------------------------
+
+
+def test_partition_covers_every_client_once():
+    slices = partition(10, 3)
+    assert [list(r) for r in slices] == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+    assert sum(len(r) for r in partition(64, 7)) == 64
+
+
+def test_partition_rejects_bad_shapes():
+    with pytest.raises(ReproError):
+        partition(4, 5)
+    with pytest.raises(ReproError):
+        partition(4, 0)
+
+
+def test_shard_seed_is_the_blessed_derivation():
+    assert shard_seed(5, 2) == RandomStreams(5).derive("shard:2")
+    assert shard_seed(5, 2) != shard_seed(5, 3)
+    assert shard_seed(5, 2) != shard_seed(6, 2)
+
+
+def test_fleet_config_validation():
+    with pytest.raises(ReproError):
+        FleetConfig(population=PopulationConfig(clients=2), shards=3)
+    with pytest.raises(ReproError):
+        FleetConfig(shards=0)
+
+
+def test_lpt_makespan():
+    assert lpt_makespan([4.0, 3.0, 2.0, 1.0], 2) == 5.0
+    assert lpt_makespan([1.0] * 8, 4) == 2.0
+    assert lpt_makespan([], 3) == 0.0
+    with pytest.raises(ReproError):
+        lpt_makespan([1.0], 0)
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_fleet_multi_worker_point_identical_to_sequential():
+    sequential = run_fleet(FleetConfig(population=_POP, shards=4,
+                                       workers=1))
+    parallel = run_fleet(FleetConfig(population=_POP, shards=4,
+                                     workers=4))
+    assert sequential.ok and parallel.ok
+    assert sequential.canonical_json() == parallel.canonical_json()
+
+
+def test_repartition_preserves_aggregate_totals():
+    totals = [run_fleet(FleetConfig(population=_POP, shards=shards,
+                                    workers=2)).totals
+              for shards in (1, 4, 7)]
+    assert totals[0] == totals[1] == totals[2]
+
+
+def test_canonical_report_excludes_wall_clock():
+    report = run_fleet(FleetConfig(population=_POP, shards=2, workers=1))
+    dump = report.canonical_json()
+    assert "wall_s" not in dump
+    artifact = report.artifact()
+    assert artifact["timing"]["wall_s"] > 0
+    assert len(artifact["timing"]["shard_walls_s"]) == 2
+
+
+# -- conservation and the merged snapshot -------------------------------------
+
+
+def test_fleet_conservation_and_exact_sums():
+    report = run_fleet(FleetConfig(population=_POP, shards=4, workers=1))
+    assert report.ok, report.violations
+    assert report.totals["chunks_lost"] > 0        # loss exercised
+    assert report.totals["chunks_sent"] == (
+        report.totals["chunks_delivered"] + report.totals["chunks_lost"])
+    # Merged snapshot agrees with the report exactly.
+    by_state = {s["labels"]["state"]: s["value"]
+                for s in report.snapshot["fleet_chunks_total"]["samples"]}
+    assert by_state["sent"] == report.totals["chunks_sent"]
+    # Per-shard samples survive the merge verbatim.
+    shard_samples = report.snapshot["fleet_shard_chunks_total"]["samples"]
+    assert len(shard_samples) == 4 * 3             # 4 shards x 3 states
+    assert report.snapshot["fleet_subscribers_total"]["samples"][0][
+        "value"] == 64
+
+
+def test_fleet_qoe_percentiles_are_ordered():
+    report = run_fleet(FleetConfig(population=_POP, shards=2, workers=1))
+    for summary in report.qoe.values():
+        assert summary["p50"] <= summary["p90"] <= summary["p99"] \
+            <= summary["max"]
+    # ~5 ms pacing: the mean inter-arrival gap must sit right on it.
+    assert report.qoe["mean_gap_ms"]["p50"] == pytest.approx(5.0, rel=0.1)
+
+
+def test_fleet_detailed_fidelity_small_population():
+    """The detailed tier rides the same fleet plumbing, conservation
+    checks included (channel accounting comes from the runtimes)."""
+    population = PopulationConfig(clients=2, seconds=1.0,
+                                  fidelity="detailed", fleet_seed=0)
+    report = run_fleet(FleetConfig(population=population, shards=2,
+                                   workers=1))
+    assert report.ok, report.violations
+    assert report.totals["chunks_delivered"] > 0
+
+
+# -- artifacts ----------------------------------------------------------------
+
+
+def test_fleet_writes_per_shard_and_merged_artifacts(tmp_path):
+    out = str(tmp_path / "fleet")
+    report = run_fleet(FleetConfig(population=_POP, shards=3, workers=1),
+                       artifacts_dir=out)
+    names = sorted(os.listdir(out))
+    assert names == ["fleet.json", "shard-0.json", "shard-1.json",
+                     "shard-2.json"]
+    fleet = json.loads((tmp_path / "fleet" / "fleet.json").read_text())
+    assert fleet["totals"] == report.totals
+    shard0 = json.loads((tmp_path / "fleet" / "shard-0.json").read_text())
+    assert shard0["seed"] == shard_seed(_POP.fleet_seed, 0)
+    assert shard0["totals"] == report.shards[0].totals
+    assert "snapshot" in shard0

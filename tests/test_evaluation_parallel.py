@@ -6,10 +6,15 @@ contract: a multi-worker run and a sequential run of the same sweep must
 agree field for field, not just approximately.
 """
 
+import os
+from unittest import mock
+
 import pytest
 
 from repro import units
-from repro.evaluation.parallel import default_workers, run_tasks
+from repro.errors import ReproError
+from repro.evaluation.parallel import (default_workers, fork_context,
+                                       map_unordered, run_tasks)
 from repro.evaluation.sweeps import run_chunk_size_sweep, run_rate_sweep
 from repro.media.mpeg import StreamConfig
 
@@ -69,3 +74,49 @@ def test_run_tasks_rejects_zero_workers():
 
 def test_default_workers_positive():
     assert default_workers() >= 1
+
+
+def test_default_workers_respects_affinity():
+    # A cgroup-pinned container may expose many CPUs but grant few: the
+    # default must follow the affinity mask, not os.cpu_count().
+    if not hasattr(os, "sched_getaffinity"):
+        pytest.skip("platform has no sched_getaffinity")
+    assert default_workers() == len(os.sched_getaffinity(0))
+    with mock.patch("os.sched_getaffinity", return_value={0, 2, 5}):
+        assert default_workers() == 3
+
+
+def test_default_workers_falls_back_without_affinity():
+    with mock.patch("repro.evaluation.parallel.os") as fake_os:
+        del fake_os.sched_getaffinity      # platform without the call
+        fake_os.cpu_count.return_value = 6
+        assert default_workers() == 6
+        fake_os.cpu_count.return_value = None
+        assert default_workers() == 1
+
+
+def test_fork_context_error_is_clear_without_fork():
+    with mock.patch("multiprocessing.get_context",
+                    side_effect=ValueError("cannot find context")):
+        with pytest.raises(ReproError, match="fork"):
+            fork_context()
+
+
+def test_map_unordered_single_worker_is_in_process():
+    assert sorted(map_unordered(abs, [-3, 1, -2], workers=1)) == [1, 2, 3]
+
+
+def test_map_unordered_multi_worker_same_results():
+    sequential = sorted(map_unordered(_square, range(8), workers=1))
+    parallel = sorted(map_unordered(_square, range(8), workers=2,
+                                    chunksize=2))
+    assert sequential == parallel == [i * i for i in range(8)]
+
+
+def test_map_unordered_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        list(map_unordered(abs, [1], workers=0))
+
+
+def _square(x):
+    return x * x

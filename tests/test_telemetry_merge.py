@@ -1,0 +1,111 @@
+"""Mergeable metric snapshots: order-insensitive, exact, type-correct."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.merge import merge_snapshots
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _shard_snapshot(shard, sent, lost):
+    registry = MetricsRegistry()
+    chunks = registry.counter("chunks_total", "chunks", labels=("state",))
+    chunks.labels(state="sent").inc(sent)
+    chunks.labels(state="lost").inc(lost)
+    registry.counter("shard_chunks_total", "per shard",
+                     labels=("shard", "state")
+                     ).labels(shard=str(shard), state="sent").inc(sent)
+    registry.gauge("clients", "population").set(4)
+    hist = registry.histogram("lat", "latency", buckets=(10, 100))
+    for value in (5, 50, 500):
+        hist.observe(value)
+    return registry.snapshot()
+
+
+def test_counters_sum_exactly():
+    merged = merge_snapshots([_shard_snapshot(0, 100, 3),
+                              _shard_snapshot(1, 200, 7)])
+    by_state = {s["labels"]["state"]: s["value"]
+                for s in merged["chunks_total"]["samples"]}
+    assert by_state == {"sent": 300, "lost": 10}
+
+
+def test_gauges_sum_as_extensive_quantities():
+    merged = merge_snapshots([_shard_snapshot(0, 1, 0),
+                              _shard_snapshot(1, 1, 0)])
+    assert merged["clients"]["samples"][0]["value"] == 8
+
+
+def test_histograms_merge_elementwise():
+    merged = merge_snapshots([_shard_snapshot(0, 1, 0),
+                              _shard_snapshot(1, 1, 0)])
+    sample = merged["lat"]["samples"][0]
+    assert sample["count"] == 6
+    assert sample["sum"] == 2 * (5 + 50 + 500)
+    assert sample["buckets"] == [[10, 2], [100, 4]]
+
+
+def test_disjoint_label_sets_union():
+    merged = merge_snapshots([_shard_snapshot(0, 10, 0),
+                              _shard_snapshot(1, 20, 0)])
+    samples = merged["shard_chunks_total"]["samples"]
+    assert [(s["labels"]["shard"], s["value"]) for s in samples] == \
+        [("0", 10), ("1", 20)]
+
+
+def test_merge_is_order_insensitive_byte_identical():
+    shards = [_shard_snapshot(i, 10 * (i + 1), i) for i in range(4)]
+    forward = merge_snapshots(shards)
+    backward = merge_snapshots(list(reversed(shards)))
+    assert json.dumps(forward, sort_keys=True) == \
+        json.dumps(backward, sort_keys=True)
+
+
+def test_merge_rejects_type_mismatch():
+    a = {"m": {"type": "counter", "help": "", "samples": []}}
+    b = {"m": {"type": "gauge", "help": "", "samples": []}}
+    with pytest.raises(ReproError):
+        merge_snapshots([a, b])
+
+
+def test_merge_rejects_bucket_mismatch():
+    def snap(buckets):
+        registry = MetricsRegistry()
+        registry.histogram("h", "", buckets=buckets).observe(1)
+        return registry.snapshot()
+    with pytest.raises(ReproError):
+        merge_snapshots([snap((10, 100)), snap((10, 200))])
+
+
+def test_merge_tolerates_missing_families():
+    registry = MetricsRegistry()
+    registry.counter("only_here", "").inc(5)
+    merged = merge_snapshots([registry.snapshot(),
+                              _shard_snapshot(0, 1, 0)])
+    assert merged["only_here"]["samples"][0]["value"] == 5
+    assert "chunks_total" in merged
+
+
+def test_snapshot_serializes_labels_sorted():
+    """Satellite fix: label order in the snapshot must come from sorted
+    label names, never family declaration order."""
+    registry = MetricsRegistry()
+    family = registry.counter("m", "", labels=("zeta", "alpha"))
+    family.labels(zeta="1", alpha="2").inc()
+    sample = registry.snapshot()["m"]["samples"][0]
+    assert list(sample["labels"]) == ["alpha", "zeta"]
+
+
+def test_snapshot_identical_across_declaration_order():
+    def build(label_order, touch_order):
+        registry = MetricsRegistry()
+        family = registry.counter("m", "labelled", labels=label_order)
+        for combo in touch_order:
+            family.labels(**combo).inc()
+        return registry.snapshot()
+    combos = [{"a": "x", "b": "1"}, {"a": "y", "b": "0"}]
+    one = build(("a", "b"), combos)
+    two = build(("b", "a"), list(reversed(combos)))
+    assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)

@@ -1,0 +1,125 @@
+"""Population factory and the chunk-fidelity scale model.
+
+The chunk tier's whole value is that its numbers can be trusted at
+scales the detailed model cannot reach — so the pinned-tolerance
+validation against the detailed tier is the load-bearing test here.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.media.decoder import ChunkDecodeModel, DECODE_EXPANSION
+from repro.tivopc.population import (
+    CHUNK_TOLERANCES,
+    PopulationConfig,
+    client_seed,
+    run_population,
+    validate_fidelity,
+)
+
+# Small but long enough that hundreds of chunks flow per subscriber.
+_SECONDS = 2.0
+
+
+# -- ChunkDecodeModel ---------------------------------------------------------
+
+
+def test_chunk_decode_accumulates_frames():
+    model = ChunkDecodeModel(frame_bytes=4096)
+    assert model.on_chunk(1024) == 0
+    assert model.on_chunk(1024) == 0
+    assert model.on_chunk(1024) == 0
+    assert model.on_chunk(1024) == 1          # fourth kB completes a frame
+    assert model.frames_decoded == 1
+    assert model.bytes_decoded == 4096
+    assert model.bytes_buffered == 0
+    assert model.raw_bytes_out == 4096 * DECODE_EXPANSION
+
+
+def test_chunk_decode_handles_oversized_chunks():
+    model = ChunkDecodeModel(frame_bytes=1000)
+    assert model.on_chunk(2500) == 2
+    assert model.bytes_buffered == 500
+
+
+def test_chunk_decode_rejects_bad_frame_size():
+    with pytest.raises(ReproError):
+        ChunkDecodeModel(frame_bytes=0)
+
+
+# -- population config and determinism ----------------------------------------
+
+
+def test_population_config_validation():
+    with pytest.raises(ReproError):
+        PopulationConfig(clients=0)
+    with pytest.raises(ReproError):
+        PopulationConfig(seconds=0)
+    with pytest.raises(ReproError):
+        PopulationConfig(fidelity="surely-not")
+    with pytest.raises(ReproError):
+        PopulationConfig(loss_rate=1.0)
+
+
+def test_client_seed_depends_on_fleet_seed_and_gid():
+    assert client_seed(0, 1) != client_seed(0, 2)
+    assert client_seed(0, 1) != client_seed(1, 1)
+    assert client_seed(3, 17) == client_seed(3, 17)
+
+
+def test_subscriber_depends_only_on_global_id():
+    """The re-partitioning contract: a subscriber's numbers must not
+    change with the set of neighbours sharing its simulator."""
+    config = PopulationConfig(clients=8, seconds=1.0, loss_rate=0.05,
+                              fleet_seed=11)
+    together = run_population(range(8), config)
+    alone = run_population([5], config)
+    grouped = next(s for s in together.subscribers if s.gid == 5)
+    solo = alone.subscribers[0]
+    assert grouped.chunks_sent == solo.chunks_sent
+    assert grouped.chunks_delivered == solo.chunks_delivered
+    assert grouped.chunks_lost == solo.chunks_lost
+    assert grouped.completion_ns == solo.completion_ns
+    assert grouped.mean_gap_ms == solo.mean_gap_ms
+
+
+def test_chunk_population_conserves_chunks_under_loss():
+    config = PopulationConfig(clients=16, seconds=1.0, loss_rate=0.1,
+                              fleet_seed=2)
+    result = run_population(range(16), config)
+    totals = result.totals()
+    assert totals["chunks_lost"] > 0           # loss actually fired
+    for stats in result.subscribers:
+        assert stats.conservation_imbalance() == 0
+    assert totals["chunks_sent"] == (totals["chunks_delivered"]
+                                     + totals["chunks_lost"])
+
+
+def test_chunk_population_event_budget_is_per_chunk():
+    """The scale model's reason to exist: ~1 event per chunk, not ~90."""
+    config = PopulationConfig(clients=32, seconds=1.0)
+    result = run_population(range(32), config)
+    chunks = result.totals()["chunks_sent"]
+    assert chunks > 0
+    assert result.events <= chunks * 2
+
+
+# -- fidelity validation ------------------------------------------------------
+
+
+def test_chunk_tier_validates_against_detailed_model():
+    """The acceptance bar: chunk counts, loss totals, completion times
+    and mean gaps inside the pinned tolerances, subscriber for
+    subscriber, against the full-testbed ground truth."""
+    validation = validate_fidelity(
+        PopulationConfig(clients=2, seconds=_SECONDS))
+    assert validation.ok, validation.failures
+    assert validation.max_chunks_rel <= CHUNK_TOLERANCES.chunks_rel
+    assert validation.max_completion_rel <= CHUNK_TOLERANCES.completion_rel
+    assert validation.max_loss_abs <= CHUNK_TOLERANCES.loss_abs
+    assert validation.max_gap_rel <= CHUNK_TOLERANCES.gap_rel
+
+
+def test_validate_fidelity_rejects_lossy_config():
+    with pytest.raises(ReproError):
+        validate_fidelity(PopulationConfig(clients=2, loss_rate=0.1))
