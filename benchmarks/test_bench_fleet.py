@@ -41,6 +41,9 @@ def test_bench_fleet_scaling(one_shot):
         f"efficiency 2w / 4w   {fleet['efficiency_2w']:>8.2f} / "
         f"{fleet['efficiency_4w']:.2f}",
         f"dispatch+merge       {fleet['dispatch_merge_overhead_s']:>11.3f} s",
+        f"supervision overhead {fleet['supervision_overhead']:>11.3f}x "
+        f"({fleet['supervised_wall_s']:.3f}s vs "
+        f"{fleet['unsupervised_wall_s']:.3f}s bare pool)",
     ]), data=fleet)
 
     # Simulated work is seeded and exact whatever the worker count.
@@ -54,6 +57,12 @@ def test_bench_fleet_scaling(one_shot):
     assert fleet["speedup_basis_2w"] in ("measured", "projected_lpt")
     assert fleet["speedup_basis_4w"] in ("measured", "projected_lpt")
     assert fleet["speedup_2w"] > 0 and fleet["speedup_4w"] > 0
+    # The live run must carry the supervision-overhead pair (sane, not
+    # gated here: a shared runner's wall clock is too noisy to assert a
+    # percentage on).
+    assert fleet["supervised_wall_s"] > 0
+    assert fleet["unsupervised_wall_s"] > 0
+    assert fleet["supervision_overhead"] > 0
 
     # The committed baseline carries the acceptance bar: >= 3x aggregate
     # events/sec at 4 workers vs 1, with its basis recorded.
@@ -62,3 +71,6 @@ def test_bench_fleet_scaling(one_shot):
     assert committed["fleet"]["events_per_sec_4w"] >= \
         3.0 * committed["fleet"]["events_per_sec"]
     assert "speedup_basis_4w" in committed["fleet"]
+    # Crash-safe dispatch must stay essentially free: on the reference
+    # machine the SupervisedPool costs <= 3 % wall over the bare pool.
+    assert committed["fleet"]["supervision_overhead"] <= 1.03

@@ -207,9 +207,15 @@ from repro.tivopc import (
 from repro.evaluation.fleet import (
     FleetConfig,
     FleetReport,
+    config_fingerprint,
     run_fleet,
     shard_seed,
 )
+from repro.evaluation.supervised import (
+    SupervisedPool,
+    SupervisionPolicy,
+)
+from repro.faults.fleet import FleetChaos
 
 # -- errors ------------------------------------------------------------------------------
 from repro.errors import (
@@ -362,8 +368,12 @@ __all__ = [
     "run_population",
     "validate_fidelity",
     # fleet-scale sharded runs
+    "FleetChaos",
     "FleetConfig",
     "FleetReport",
+    "SupervisedPool",
+    "SupervisionPolicy",
+    "config_fingerprint",
     "run_fleet",
     "shard_seed",
     # errors

@@ -10,12 +10,22 @@ Artifacts: ``fig1``, ``fig9``, ``fig10``, ``table2``, ``table3``,
 Output is the same paper-vs-measured rendering the benchmarks produce;
 ``profile`` prints the simulator's hot-loop attribution and ``--workers``
 fans sweep points out over a process pool.
+
+The ``fleet`` artifact is an *operation*, not just a table: it exits
+non-zero (3) when the merged report fails conservation or is degraded
+(shards missing after retry exhaustion) unless ``--allow-degraded`` is
+passed, resumes from a previous run's artifacts via ``--resume DIR``,
+and takes deterministic host-fault injection (``--chaos-kill`` /
+``--chaos-stall`` / ``--chaos-slow``) for supervision drills.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict, Optional, Sequence
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
 
 from repro.evaluation.experiments import (
     run_all_client_scenarios,
@@ -119,11 +129,58 @@ def _artifact_sweeps(seconds: float, seed: int,
     return rate + "\n\n" + chunk
 
 
+class FleetRunError(ReproError):
+    """A fleet run whose merged report must fail the CLI (conservation
+    violation, or a degraded report without ``--allow-degraded``).  The
+    rendered report travels along so the operator still sees exactly
+    what completed before the non-zero exit."""
+
+    def __init__(self, message: str, rendered: str) -> None:
+        super().__init__(message)
+        self.rendered = rendered
+
+
+def _parse_chaos_picks(kills: Sequence[str], stalls: Sequence[str],
+                       slows: Sequence[str], stall_s: float):
+    """``SHARD[:ATTEMPT]`` / ``SHARD:ATTEMPT:SECONDS`` specs →
+    :class:`~repro.faults.fleet.FleetChaos` (None when no picks)."""
+    from repro.faults.fleet import FleetChaos
+
+    def pick(spec: str, want_seconds: bool) -> Tuple:
+        parts = spec.split(":")
+        try:
+            if want_seconds:
+                if len(parts) == 2:
+                    return int(parts[0]), int(parts[1]), stall_s
+                shard, attempt, seconds = parts
+                return int(shard), int(attempt), float(seconds)
+            if len(parts) == 1:
+                return int(parts[0]), 0
+            shard, attempt = parts
+            return int(shard), int(attempt)
+        except ValueError as exc:
+            raise ReproError(f"bad chaos pick {spec!r}: {exc}") from exc
+
+    if not (kills or stalls or slows):
+        return None
+    return FleetChaos(
+        kills=tuple(pick(spec, False) for spec in kills),
+        stalls=tuple(pick(spec, True) for spec in stalls),
+        slows=tuple(pick(spec, True) for spec in slows))
+
+
 def _artifact_fleet(seconds: float, seed: int, workers: int = 1,
                     clients: int = 64, shards: int = 4,
                     fidelity: str = "chunk", loss_rate: float = 0.0,
-                    artifacts_dir: Optional[str] = None) -> str:
+                    artifacts_dir: Optional[str] = None,
+                    resume_dir: Optional[str] = None,
+                    max_retries: int = 2,
+                    shard_timeout: Optional[float] = None,
+                    hedge: bool = True,
+                    allow_degraded: bool = False,
+                    chaos=None) -> str:
     from repro.evaluation.fleet import FleetConfig, run_fleet
+    from repro.evaluation.supervised import SupervisionPolicy
     from repro.evaluation.reporting import render_fleet_report
     from repro.tivopc.population import PopulationConfig
 
@@ -131,8 +188,23 @@ def _artifact_fleet(seconds: float, seed: int, workers: int = 1,
         population=PopulationConfig(
             clients=clients, seconds=min(seconds, 5.0), fidelity=fidelity,
             loss_rate=loss_rate, fleet_seed=seed),
-        shards=shards, workers=workers), artifacts_dir=artifacts_dir)
-    return render_fleet_report(report)
+        shards=shards, workers=workers,
+        supervision=SupervisionPolicy(max_retries=max_retries,
+                                      shard_timeout_s=shard_timeout,
+                                      hedge=hedge)),
+        artifacts_dir=artifacts_dir, resume_dir=resume_dir, chaos=chaos)
+    rendered = render_fleet_report(report)
+    problems: List[str] = []
+    if not report.ok:
+        problems.append(f"{len(report.violations)} conservation/sum "
+                        "violation(s)")
+    if report.degraded and not allow_degraded:
+        problems.append(f"degraded report: shards "
+                        f"{report.missing_shards} missing (pass "
+                        "--allow-degraded to accept a partial run)")
+    if problems:
+        raise FleetRunError("; ".join(problems), rendered)
+    return rendered
 
 
 def _artifact_profile(seconds: float, seed: int,
@@ -194,7 +266,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="fleet: chunk-tier Bernoulli loss "
                              "(default: 0)")
     parser.add_argument("--artifacts", default=None, metavar="DIR",
-                        help="fleet: write shard-*.json + fleet.json here")
+                        help="fleet: write shard-*.json + fleet.json + "
+                             "fleet.canonical.json here")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="fleet: skip shards whose fingerprint-"
+                             "validated shard-<id>.json already exists "
+                             "in DIR")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="fleet: extra dispatch attempts per shard "
+                             "(default: 2)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fleet: wall-clock budget per shard "
+                             "dispatch (default: none)")
+    parser.add_argument("--no-hedge", action="store_true",
+                        help="fleet: disable speculative straggler "
+                             "duplicates")
+    parser.add_argument("--allow-degraded", action="store_true",
+                        help="fleet: exit 0 even when shards are "
+                             "missing after retry exhaustion")
+    parser.add_argument("--chaos-kill", action="append", default=[],
+                        metavar="SHARD[:ATTEMPT]",
+                        help="fleet: kill the worker picking up this "
+                             "shard attempt (repeatable)")
+    parser.add_argument("--chaos-stall", action="append", default=[],
+                        metavar="SHARD:ATTEMPT[:SECONDS]",
+                        help="fleet: stall that worker pick "
+                             "(default 30s; repeatable)")
+    parser.add_argument("--chaos-slow", action="append", default=[],
+                        metavar="SHARD:ATTEMPT:SECONDS",
+                        help="fleet: delay that worker pick by SECONDS "
+                             "(repeatable)")
     args = parser.parse_args(argv)
     workers = None if args.workers == 0 else args.workers
 
@@ -205,9 +307,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             extra = {"clients": args.clients, "shards": args.shards,
                      "fidelity": args.fidelity,
                      "loss_rate": args.loss_rate,
-                     "artifacts_dir": args.artifacts}
-        print(ARTIFACTS[name](args.seconds, args.seed, workers=workers,
-                              **extra))
+                     "artifacts_dir": args.artifacts,
+                     "resume_dir": args.resume,
+                     "max_retries": args.max_retries,
+                     "shard_timeout": args.shard_timeout,
+                     "hedge": not args.no_hedge,
+                     "allow_degraded": args.allow_degraded,
+                     "chaos": _parse_chaos_picks(
+                         args.chaos_kill, args.chaos_stall,
+                         args.chaos_slow, stall_s=30.0)}
+        try:
+            print(ARTIFACTS[name](args.seconds, args.seed,
+                                  workers=workers, **extra))
+        except FleetRunError as exc:
+            print(exc.rendered)
+            print(f"\nFLEET FAILURE: {exc}", file=sys.stderr)
+            return 3
         print()
     return 0
 

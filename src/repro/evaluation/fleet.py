@@ -23,10 +23,25 @@ Determinism contract (pinned by ``tests/test_evaluation_fleet.py``):
 Wall-clock timings are the one intentionally non-deterministic part;
 :meth:`FleetReport.canonical` exposes the report with them stripped,
 which is what the determinism tests and artifact diffs compare.
+Supervision activity (retries, hedges, worker deaths) is likewise
+schedule-dependent and lives only in :meth:`FleetReport.artifact` —
+a chaos-killed worker or a hedged straggler changes *how* the run got
+there, never the canonical report.
+
+Crash safety (pinned by the ``fleet-chaos`` CI job): dispatch runs
+through :class:`~repro.evaluation.supervised.SupervisedPool`, so a
+dead or wedged worker is detected, replaced and its shard retried with
+capped backoff; shards that exhaust their retries are quarantined and
+the run degrades into a partial report (``degraded=True``, exact
+``missing_shards`` accounting, conservation checked over the shards
+that completed) instead of dying wholesale.  ``resume_dir`` makes runs
+restartable: shards whose ``shard-<id>.json`` artifact already exists
+(and matches the run's seed/config fingerprint) are loaded, not rerun.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -34,7 +49,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
-from repro.evaluation.parallel import default_workers, map_unordered
+from repro.evaluation.parallel import default_workers
+from repro.evaluation.supervised import (SupervisedPool, SupervisionPolicy,
+                                         SupervisionStats)
 from repro.sim.rng import RandomStreams
 from repro.telemetry.merge import merge_snapshots
 from repro.telemetry.metrics import MetricsRegistry
@@ -42,7 +59,8 @@ from repro.tivopc.population import PopulationConfig, run_population
 from repro import units
 
 __all__ = ["FleetConfig", "ShardResult", "FleetReport", "shard_seed",
-           "partition", "lpt_makespan", "run_fleet"]
+           "partition", "lpt_makespan", "run_fleet", "config_fingerprint",
+           "SupervisionPolicy"]
 
 
 @dataclass(frozen=True)
@@ -55,8 +73,13 @@ class FleetConfig:
     workers: Optional[int] = 1
     # Shards handed to a worker per pickup; 0 -> auto (1, i.e. dynamic
     # load balancing — shards are coarse enough that batching them would
-    # only re-create stragglers).
+    # only re-create stragglers).  Supervised dispatch always picks up
+    # one shard at a time (retry/timeout granularity is the shard).
     chunksize: int = 0
+    # Fault handling for the dispatch layer: retries/backoff, per-shard
+    # wall-clock timeout, straggler hedging.
+    supervision: SupervisionPolicy = field(
+        default_factory=SupervisionPolicy)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -67,6 +90,26 @@ class FleetConfig:
                 f"({self.population.clients})")
         if self.chunksize < 0:
             raise ReproError(f"chunksize must be >= 0: {self.chunksize}")
+
+
+def config_fingerprint(config: FleetConfig) -> str:
+    """Stable digest of everything a shard artifact's numbers depend on.
+
+    Stamped into every ``shard-<id>.json``; a resume run recomputes it
+    and refuses artifacts minted under a different population, stream
+    shape, seed or shard count — mixing those would silently splice two
+    different experiments into one report.
+    """
+    pop = config.population
+    payload = json.dumps({
+        "clients": pop.clients, "seconds": pop.seconds,
+        "fidelity": pop.fidelity, "loss_rate": pop.loss_rate,
+        "fleet_seed": pop.fleet_seed,
+        "stream_chunk_bytes": pop.stream.chunk_bytes,
+        "stream_interval_ns": pop.stream.interval_ns,
+        "shards": config.shards,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def shard_seed(fleet_seed: int, shard_id: int) -> int:
@@ -125,6 +168,38 @@ class ShardResult:
     max_gap_ms: List[float]
     snapshot: Dict[str, Any]       # per-shard metrics snapshot
     violations: List[str]
+
+    def to_artifact(self, fingerprint: str) -> Dict[str, Any]:
+        """The shard's full on-disk form — everything :func:`run_fleet`
+        needs to resume without rerunning it, plus the config
+        fingerprint the resume path validates."""
+        return {
+            "fingerprint": fingerprint,
+            "shard_id": self.shard_id, "seed": self.seed,
+            "clients": self.clients, "events": self.events,
+            "sim_ns": self.sim_ns, "wall_s": self.wall_s,
+            "totals": self.totals, "gids": self.gids,
+            "first_ms": self.first_ms,
+            "completion_ms": self.completion_ms,
+            "mean_gap_ms": self.mean_gap_ms,
+            "max_gap_ms": self.max_gap_ms,
+            "snapshot": self.snapshot, "violations": self.violations,
+        }
+
+    _ARTIFACT_FIELDS = ("shard_id", "seed", "clients", "events", "sim_ns",
+                        "wall_s", "totals", "gids", "first_ms",
+                        "completion_ms", "mean_gap_ms", "max_gap_ms",
+                        "snapshot", "violations")
+
+    @classmethod
+    def from_artifact(cls, data: Dict[str, Any]) -> "ShardResult":
+        missing = [name for name in cls._ARTIFACT_FIELDS
+                   if name not in data]
+        if missing:
+            raise ReproError(
+                f"shard artifact is missing {missing} (written by an "
+                "older release? rerun without resume_dir)")
+        return cls(**{name: data[name] for name in cls._ARTIFACT_FIELDS})
 
 
 def _completion_buckets(config: PopulationConfig) -> Tuple[int, ...]:
@@ -237,7 +312,7 @@ class FleetReport:
 
     config: FleetConfig
     workers: int
-    shards: List[ShardResult]      # in shard-id order
+    shards: List[ShardResult]      # completed shards, in shard-id order
     totals: Dict[str, int]
     events: int
     wall_s: float                  # dispatch + shards + merge, measured
@@ -245,11 +320,25 @@ class FleetReport:
     qoe: Dict[str, Dict[str, float]]
     snapshot: Dict[str, Any]       # merged metrics snapshot
     violations: List[str]
+    # Graceful degradation: shards quarantined after retry exhaustion
+    # are *missing*, not fatal — totals/qoe/conservation cover the
+    # shards that completed and the report says exactly what is absent.
+    degraded: bool = False
+    missing_shards: List[int] = field(default_factory=list)
+    # Supervision activity (retries/hedges/timeouts/worker deaths,
+    # resumed-shard count, quarantine reasons, metrics snapshot).
+    # Schedule-dependent, hence artifact-only — never canonical.
+    supervision: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         """True when every conservation and sum-equality check held."""
         return not self.violations
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard completed and every check held."""
+        return self.ok and not self.degraded
 
     def canonical(self) -> Dict[str, Any]:
         """The deterministic projection of the report.
@@ -280,6 +369,8 @@ class FleetReport:
             "qoe": self.qoe,
             "snapshot": self.snapshot,
             "violations": self.violations,
+            "degraded": self.degraded,
+            "missing_shards": self.missing_shards,
         }
 
     def canonical_json(self) -> str:
@@ -287,7 +378,8 @@ class FleetReport:
         return json.dumps(self.canonical(), sort_keys=True, indent=2)
 
     def artifact(self) -> Dict[str, Any]:
-        """The full report: canonical content plus measured timing."""
+        """The full report: canonical content plus measured timing and
+        supervision activity (both schedule-dependent by nature)."""
         out = self.canonical()
         out["timing"] = {
             "workers": self.workers,
@@ -295,6 +387,7 @@ class FleetReport:
             "events_per_sec": self.events_per_sec,
             "shard_walls_s": [s.wall_s for s in self.shards],
         }
+        out["supervision"] = self.supervision
         return out
 
 
@@ -339,33 +432,153 @@ def _check_sums(shards: Sequence[ShardResult], totals: Dict[str, int],
     return problems
 
 
+def _assert_distinct_seeds(seeds: Dict[int, int]) -> None:
+    """Guard against a silent shard-seed collision.
+
+    Two shards sharing a derived seed would draw identical named
+    streams — in a pathological hash collision that means double-
+    counted trajectories with no conservation check able to notice
+    (each shard is internally consistent).  Fail loudly, naming the
+    colliding shard ids.
+    """
+    by_seed: Dict[int, List[int]] = {}
+    for shard_id, seed in seeds.items():
+        by_seed.setdefault(seed, []).append(shard_id)
+    collisions = {seed: ids for seed, ids in by_seed.items()
+                  if len(ids) > 1}
+    if collisions:
+        detail = "; ".join(
+            f"shards {sorted(ids)} all derive seed {seed}"
+            for seed, ids in sorted(collisions.items()))
+        raise ReproError(f"shard seed collision: {detail}")
+
+
+def _load_resumed(resume_dir: str, config: FleetConfig,
+                  seeds: Dict[int, int]) -> Dict[int, ShardResult]:
+    """Load completed shards from a previous run's artifact directory.
+
+    Every ``shard-<id>.json`` present must carry this run's config
+    fingerprint and the shard's derived seed — a mismatch means the
+    directory belongs to a different experiment, and splicing it in
+    would corrupt the report, so it raises instead of being skipped.
+    """
+    fingerprint = config_fingerprint(config)
+    resumed: Dict[int, ShardResult] = {}
+    for shard_id in range(config.shards):
+        path = os.path.join(resume_dir, f"shard-{shard_id}.json")
+        if not os.path.exists(path):
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("fingerprint") != fingerprint:
+            raise ReproError(
+                f"resume artifact {path} has fingerprint "
+                f"{data.get('fingerprint')!r}, this run's config is "
+                f"{fingerprint!r} — different population/seed/shard "
+                "count; refusing to splice experiments")
+        if data.get("seed") != seeds[shard_id]:
+            raise ReproError(
+                f"resume artifact {path} ran with seed "
+                f"{data.get('seed')}, this run derives "
+                f"{seeds[shard_id]}")
+        resumed[shard_id] = ShardResult.from_artifact(data)
+    return resumed
+
+
+def _supervision_snapshot(stats: SupervisionStats,
+                          resumed: int) -> Dict[str, Any]:
+    """Supervision counters as a mergeable telemetry snapshot.
+
+    Same schema as the shard snapshots, so artifacts from several runs
+    fold through :func:`repro.telemetry.merge.merge_snapshots` exactly
+    like any other counter family.
+    """
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_fleet_shard_retries_total",
+        "Shard dispatches retried after a failure or timeout"
+    ).inc(stats.retries)
+    registry.counter(
+        "repro_fleet_shard_hedges_total",
+        "Speculative straggler duplicates launched").inc(stats.hedges)
+    registry.counter(
+        "repro_fleet_shard_resumed_total",
+        "Shards restored from resume artifacts instead of rerun"
+    ).inc(resumed)
+    registry.counter(
+        "repro_fleet_shard_quarantined_total",
+        "Shards abandoned after exhausting retries"
+    ).inc(stats.quarantined)
+    registry.counter(
+        "repro_fleet_shard_timeouts_total",
+        "Shard dispatches reaped by the wall-clock watchdog"
+    ).inc(stats.timeouts)
+    registry.counter(
+        "repro_fleet_worker_deaths_total",
+        "Worker processes found dead and replaced"
+    ).inc(stats.worker_deaths)
+    return registry.snapshot()
+
+
 def run_fleet(config: FleetConfig,
-              artifacts_dir: Optional[str] = None) -> FleetReport:
+              artifacts_dir: Optional[str] = None,
+              resume_dir: Optional[str] = None,
+              chaos=None) -> FleetReport:
     """Run the fleet; optionally write per-shard + merged artifacts.
 
-    ``artifacts_dir`` gets one ``shard-<id>.json`` per shard (the
-    worker's full result including its metrics snapshot) and a
-    ``fleet.json`` holding :meth:`FleetReport.artifact`.
+    ``artifacts_dir`` gets one ``shard-<id>.json`` per completed shard
+    (the worker's full result, fingerprinted for resume), a
+    ``fleet.json`` holding :meth:`FleetReport.artifact`, and a
+    ``fleet.canonical.json`` holding the byte-comparable deterministic
+    projection.
+
+    ``resume_dir`` skips shards whose validated artifact already exists
+    there (pass the previous run's ``artifacts_dir``); ``chaos`` is a
+    :class:`~repro.faults.fleet.FleetChaos` host-fault schedule for the
+    dispatch layer.  Shards that exhaust their retries degrade the run
+    (``degraded=True`` with exact missing-shard accounting) instead of
+    failing it.
     """
     workers = config.workers
     if workers is None:
         workers = default_workers()
-    chunksize = config.chunksize or 1
-    tasks = [(shard_id, config) for shard_id in range(config.shards)]
+    seeds = {shard_id: shard_seed(config.population.fleet_seed, shard_id)
+             for shard_id in range(config.shards)}
+    _assert_distinct_seeds(seeds)
 
     start = time.perf_counter()
     by_id: Dict[int, ShardResult] = {}
-    for result in map_unordered(_run_shard, tasks,
-                                workers=min(workers, config.shards),
-                                chunksize=chunksize):
-        by_id[result.shard_id] = result
-    shards = [by_id[shard_id] for shard_id in range(config.shards)]
+    if resume_dir is not None:
+        by_id.update(_load_resumed(resume_dir, config, seeds))
+    resumed_ids = sorted(by_id)
+
+    todo = [shard_id for shard_id in range(config.shards)
+            if shard_id not in by_id]
+    stats = SupervisionStats()
+    quarantine_reasons: Dict[int, str] = {}
+    if todo:
+        pool = SupervisedPool(
+            _run_shard, workers=min(workers, len(todo)),
+            policy=config.supervision, chaos=chaos, task_keys=todo)
+        for result in pool.run(
+                [(shard_id, config) for shard_id in todo]).values():
+            by_id[result.shard_id] = result
+        stats = pool.stats
+        quarantine_reasons = {
+            failure.key: failure.summary()
+            for failure in pool.failures.values()}
+
+    shards = [by_id[shard_id] for shard_id in sorted(by_id)]
+    missing = sorted(shard_id for shard_id in range(config.shards)
+                     if shard_id not in by_id)
+    degraded = bool(missing)
 
     merged = merge_snapshots([s.snapshot for s in shards])
-    totals = {key: sum(s.totals[key] for s in shards)
-              for key in shards[0].totals}
+    totals = ({key: sum(s.totals[key] for s in shards)
+               for key in shards[0].totals} if shards else {})
     violations = [v for s in shards for v in s.violations]
-    violations.extend(_check_sums(shards, totals, merged))
+    if shards:
+        violations.extend(_check_sums(shards, totals, merged))
     qoe = {
         "first_ms": _qoe_summary([v for s in shards for v in s.first_ms]),
         "completion_ms": _qoe_summary(
@@ -377,29 +590,40 @@ def run_fleet(config: FleetConfig,
     }
     wall_s = time.perf_counter() - start
 
+    supervision = dict(stats.as_dict())
+    supervision["resumed"] = len(resumed_ids)
+    supervision["resumed_shards"] = resumed_ids
+    supervision["quarantine_reasons"] = [
+        quarantine_reasons[shard_id]
+        for shard_id in sorted(quarantine_reasons)]
+    supervision["snapshot"] = _supervision_snapshot(stats,
+                                                    len(resumed_ids))
+
     report = FleetReport(
         config=config, workers=workers, shards=shards, totals=totals,
         events=sum(s.events for s in shards), wall_s=wall_s,
         events_per_sec=sum(s.events for s in shards) / wall_s
         if wall_s > 0 else 0.0,
-        qoe=qoe, snapshot=merged, violations=violations)
+        qoe=qoe, snapshot=merged, violations=violations,
+        degraded=degraded, missing_shards=missing,
+        supervision=supervision)
 
     if artifacts_dir is not None:
+        fingerprint = config_fingerprint(config)
         os.makedirs(artifacts_dir, exist_ok=True)
         for shard in shards:
             path = os.path.join(artifacts_dir,
                                 f"shard-{shard.shard_id}.json")
             with open(path, "w", encoding="utf-8") as handle:
-                json.dump({
-                    "shard_id": shard.shard_id, "seed": shard.seed,
-                    "clients": shard.clients, "events": shard.events,
-                    "sim_ns": shard.sim_ns, "wall_s": shard.wall_s,
-                    "totals": shard.totals, "snapshot": shard.snapshot,
-                    "violations": shard.violations,
-                }, handle, sort_keys=True, indent=2)
+                json.dump(shard.to_artifact(fingerprint), handle,
+                          sort_keys=True, indent=2)
                 handle.write("\n")
         path = os.path.join(artifacts_dir, "fleet.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(report.artifact(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        path = os.path.join(artifacts_dir, "fleet.canonical.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(report.canonical_json())
             handle.write("\n")
     return report

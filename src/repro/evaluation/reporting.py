@@ -216,9 +216,28 @@ def render_fleet_report(report: "FleetReport") -> str:
                if report.ok else
                "CONSERVATION VIOLATIONS:\n  " +
                "\n  ".join(report.violations))
+    if report.degraded:
+        reasons = report.supervision.get("quarantine_reasons", [])
+        verdict += (
+            f"\nDEGRADED: shards {report.missing_shards} missing after "
+            f"retry exhaustion ({sum(s.clients for s in report.shards)}"
+            f"/{pop.clients} clients reported; conservation covers "
+            "completed shards only)")
+        if reasons:
+            verdict += "\n  " + "\n  ".join(reasons)
+    sup = report.supervision
+    supervision = (
+        "supervision: "
+        f"retries={sup.get('retries', 0)} "
+        f"hedges={sup.get('hedges', 0)} "
+        f"timeouts={sup.get('timeouts', 0)} "
+        f"worker_deaths={sup.get('worker_deaths', 0)} "
+        f"resumed={sup.get('resumed', 0)} "
+        f"quarantined={sup.get('quarantined', 0)}")
     rate = (f"aggregate rate: {report.events_per_sec:,.0f} events/sec "
             f"over {report.wall_s:.3f}s wall")
-    return "\n\n".join([shard_table, qoe_table, verdict, rate])
+    return "\n\n".join([shard_table, qoe_table, verdict, supervision,
+                        rate])
 
 
 def render_power_ablation(results: Dict[str, PowerComparisonResult]

@@ -16,18 +16,23 @@ The subsystem splits cleanly in two:
   deterministically expands into a randomized plan, the offloaded
   TiVoPC pipeline runs under it, and :func:`~repro.faults.chaos.\
 check_invariants` decides pass/fail (``python -m repro.faults.chaos``).
+* :mod:`repro.faults.fleet` — :class:`FleetChaos`: host-level fault
+  injection (worker kill/stall/slow by ``(shard, attempt)`` pick) for
+  the supervised fleet dispatcher.
 
 All randomness (loss/corruption coin flips) comes from a named
 :class:`repro.sim.rng.RandomStreams` stream — never wall clock — so the
 same seed and plan replay the same failure history, byte for byte.
 """
 
+from repro.faults.fleet import ChaosKill, ChaosStall, FleetChaos
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 
-__all__ = ["ChaosProfile", "ChaosReport", "ChaosRun", "FaultEvent",
-           "FaultInjector", "FaultKind", "FaultPlan", "check_invariants",
-           "generate_plan", "run_chaos_scenario", "soak"]
+__all__ = ["ChaosKill", "ChaosProfile", "ChaosReport", "ChaosRun",
+           "ChaosStall", "FaultEvent", "FaultInjector", "FaultKind",
+           "FaultPlan", "FleetChaos", "check_invariants", "generate_plan",
+           "run_chaos_scenario", "soak"]
 
 # The chaos harness pulls in the whole TiVoPC testbed; importing it
 # lazily keeps `import repro.faults` light and lets `python -m

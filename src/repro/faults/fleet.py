@@ -1,0 +1,149 @@
+"""Deterministic host-level fault injection for the fleet dispatcher.
+
+:mod:`repro.faults` injects faults *inside* the simulation (device
+crashes, bus transients, channel noise).  :class:`FleetChaos` injects
+them one level up, into the **host processes** that run fleet shards:
+a worker pick — the moment a worker pulls ``(shard, attempt)`` off the
+queue — can be killed (``os._exit``, exactly what an OOM kill looks
+like to the parent), stalled (a sleep longer than the shard timeout,
+i.e. a wedged process) or slowed (a straggler, which is what hedging
+exists for).
+
+Faults are addressed by ``(task key, attempt)`` — for the fleet the
+key is the shard id — so the schedule is a pure function of the chaos
+spec: no wall clock, no global RNG.  A kill at ``(shard 3, attempt 0)``
+fires once; the retry runs attempt 1, which the spec doesn't name, and
+completes — which is why a chaos run's canonical fleet report is
+byte-identical to an undisturbed run (shard results depend only on
+``(fleet_seed, shard_id)``).
+
+``seeded()`` derives the picks from a seed through the blessed
+:class:`~repro.sim.rng.RandomStreams` hash, for soak-style sweeps where
+enumerating picks by hand would bias the test toward the cases the
+author thought of.
+
+In-process mode (``workers=1``): a kill cannot ``os._exit`` without
+taking the caller down, so ``apply(..., in_process=True)`` raises
+:class:`ChaosKill` / :class:`ChaosStall` instead — the supervisor's
+retry path sees the same failure either way.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from repro.errors import ReproError
+from repro.sim.rng import RandomStreams
+
+__all__ = ["ChaosKill", "ChaosStall", "FleetChaos", "CHAOS_EXIT_CODE"]
+
+# Distinctive worker exit status for chaos kills, so a supervisor log
+# line can tell an injected death from a genuine crash.
+CHAOS_EXIT_CODE = 117
+
+
+class ChaosKill(ReproError):
+    """In-process stand-in for a chaos worker kill."""
+
+
+class ChaosStall(ReproError):
+    """In-process stand-in for a chaos worker stall (a wedged worker
+    cannot be reaped by a wall-clock watchdog without a real process, so
+    the sequential path surfaces the stall as an immediate failure)."""
+
+
+@dataclass(frozen=True)
+class FleetChaos:
+    """A deterministic schedule of host faults, keyed by worker pick.
+
+    ``kills`` is a tuple of ``(key, attempt)`` picks; ``stalls`` and
+    ``slows`` are tuples of ``(key, attempt, seconds)``.  ``seconds``
+    for a stall should exceed the supervisor's ``shard_timeout_s`` (the
+    stall models a wedge, the watchdog does the reaping); for a slow it
+    is the extra latency that turns the pick into a straggler.
+    """
+
+    kills: Tuple[Tuple[Hashable, int], ...] = ()
+    stalls: Tuple[Tuple[Hashable, int, float], ...] = ()
+    slows: Tuple[Tuple[Hashable, int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for key, attempt in self.kills:
+            if attempt < 0:
+                raise ReproError(f"kill attempt must be >= 0: "
+                                 f"({key}, {attempt})")
+        for name, picks in (("stall", self.stalls), ("slow", self.slows)):
+            for key, attempt, seconds in picks:
+                if attempt < 0 or seconds < 0:
+                    raise ReproError(
+                        f"{name} pick out of range: "
+                        f"({key}, {attempt}, {seconds})")
+
+    @classmethod
+    def seeded(cls, seed: int, shards: int, kills: int = 1,
+               stalls: int = 0, slows: int = 0, stall_s: float = 30.0,
+               slow_s: float = 0.2) -> "FleetChaos":
+        """Derive ``kills + stalls + slows`` distinct shard picks from
+        ``seed`` via the blessed stream derivation (attempt 0 each — the
+        first pick of a shard is the one a real host fault would hit)."""
+        total = kills + stalls + slows
+        if total > shards:
+            raise ReproError(
+                f"cannot pick {total} distinct shards out of {shards}")
+        rng = random.Random(RandomStreams(seed).derive("fleet-chaos"))
+        picks = rng.sample(range(shards), total)
+        return cls(
+            kills=tuple((shard, 0) for shard in picks[:kills]),
+            stalls=tuple((shard, 0, stall_s)
+                         for shard in picks[kills:kills + stalls]),
+            slows=tuple((shard, 0, slow_s)
+                        for shard in picks[kills + stalls:]))
+
+    @classmethod
+    def poison(cls, key: Hashable, max_retries: int) -> "FleetChaos":
+        """Kill every attempt of one task: the retry-exhaustion case."""
+        return cls(kills=tuple((key, attempt)
+                               for attempt in range(max_retries + 1)))
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, key: Hashable, attempt: int,
+              in_process: bool = False) -> None:
+        """Fire whatever this schedule holds for ``(key, attempt)``.
+
+        Called by the worker body right after the pick (fork workers)
+        or by the sequential dispatcher (``in_process=True``).
+        """
+        pick = (key, attempt)
+        if pick in self.kills:
+            if in_process:
+                raise ChaosKill(
+                    f"chaos kill: task {key} attempt {attempt}")
+            os._exit(CHAOS_EXIT_CODE)
+        for stall_key, stall_attempt, seconds in self.stalls:
+            if (stall_key, stall_attempt) == pick:
+                if in_process:
+                    raise ChaosStall(
+                        f"chaos stall: task {key} attempt {attempt}")
+                time.sleep(seconds)
+        for slow_key, slow_attempt, seconds in self.slows:
+            if (slow_key, slow_attempt) == pick:
+                time.sleep(seconds)
+
+    def describe(self) -> str:
+        """One-line schedule summary for logs and reproduce commands."""
+        parts = []
+        if self.kills:
+            parts.append("kill " + ",".join(
+                f"{k}:{a}" for k, a in self.kills))
+        if self.stalls:
+            parts.append("stall " + ",".join(
+                f"{k}:{a}({s:g}s)" for k, a, s in self.stalls))
+        if self.slows:
+            parts.append("slow " + ",".join(
+                f"{k}:{a}(+{s:g}s)" for k, a, s in self.slows))
+        return "; ".join(parts) if parts else "no faults"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ODFError
+from repro.errors import ODFError, ReproError
 from repro.core.odf import OdfLibrary
 from repro.evaluation.cli import ARTIFACTS, main
 
@@ -109,6 +109,60 @@ def test_cli_fleet(capsys):
     out = capsys.readouterr().out
     assert "Fleet: 16 clients" in out
     assert "conservation: OK" in out
+    assert "supervision: retries=0" in out
+
+
+_DEGRADED_ARGS = ["fleet", "--seconds", "1", "--clients", "16",
+                  "--shards", "2", "--max-retries", "1",
+                  "--chaos-kill", "1:0", "--chaos-kill", "1:1"]
+
+
+def test_cli_fleet_degraded_exits_nonzero(capsys):
+    # Poison shard 1 (kills cover every attempt): the run must degrade
+    # and the CLI must fail loudly — a cron job piping this into a
+    # dashboard should not mistake a partial report for a full one.
+    assert main(_DEGRADED_ARGS) == 3
+    captured = capsys.readouterr()
+    assert "DEGRADED: shards [1] missing" in captured.out
+    assert "FLEET FAILURE" in captured.err
+    assert "--allow-degraded" in captured.err
+
+
+def test_cli_fleet_allow_degraded_is_the_escape_hatch(capsys):
+    assert main(_DEGRADED_ARGS + ["--allow-degraded"]) == 0
+    out = capsys.readouterr().out
+    assert "DEGRADED: shards [1] missing" in out
+    assert "quarantined=1" in out
+
+
+def test_cli_fleet_survives_a_chaos_kill(capsys):
+    # "--chaos-kill 0" (attempt defaults to 0) kills the first pick of
+    # shard 0; the retry completes it, so the run still passes.  The
+    # byte-level chaos-invisibility of the canonical report is pinned in
+    # tests/test_evaluation_fleet.py.
+    base = ["fleet", "--seconds", "1", "--clients", "16", "--shards", "2"]
+    assert main(base + ["--chaos-kill", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "conservation: OK" in out
+    assert "retries=1" in out
+
+
+def test_cli_fleet_rejects_bad_chaos_spec(capsys):
+    from repro.evaluation.cli import _parse_chaos_picks
+    with pytest.raises(ReproError, match="bad chaos pick"):
+        _parse_chaos_picks(["nope"], [], [], stall_s=30.0)
+    with pytest.raises(ReproError, match="bad chaos pick"):
+        _parse_chaos_picks([], ["0:0:fast"], [], stall_s=30.0)
+    assert _parse_chaos_picks([], [], [], stall_s=30.0) is None
+
+
+def test_cli_fleet_resume_roundtrip(tmp_path, capsys):
+    out_dir = str(tmp_path / "fleet")
+    base = ["fleet", "--seconds", "1", "--clients", "16", "--shards", "2"]
+    assert main(base + ["--artifacts", out_dir]) == 0
+    capsys.readouterr()
+    assert main(base + ["--resume", out_dir]) == 0
+    assert "resumed=2" in capsys.readouterr().out
 
 
 @pytest.mark.slow

@@ -14,11 +14,14 @@ import pytest
 from repro.errors import ReproError
 from repro.evaluation.fleet import (
     FleetConfig,
+    config_fingerprint,
     lpt_makespan,
     partition,
     run_fleet,
     shard_seed,
 )
+from repro.evaluation.supervised import SupervisionPolicy
+from repro.faults.fleet import FleetChaos
 from repro.sim.rng import RandomStreams
 from repro.tivopc.population import PopulationConfig
 
@@ -138,14 +141,167 @@ def test_fleet_detailed_fidelity_small_population():
 
 def test_fleet_writes_per_shard_and_merged_artifacts(tmp_path):
     out = str(tmp_path / "fleet")
-    report = run_fleet(FleetConfig(population=_POP, shards=3, workers=1),
-                       artifacts_dir=out)
+    config = FleetConfig(population=_POP, shards=3, workers=1)
+    report = run_fleet(config, artifacts_dir=out)
     names = sorted(os.listdir(out))
-    assert names == ["fleet.json", "shard-0.json", "shard-1.json",
-                     "shard-2.json"]
+    assert names == ["fleet.canonical.json", "fleet.json", "shard-0.json",
+                     "shard-1.json", "shard-2.json"]
     fleet = json.loads((tmp_path / "fleet" / "fleet.json").read_text())
     assert fleet["totals"] == report.totals
+    assert fleet["supervision"]["retries"] == 0
     shard0 = json.loads((tmp_path / "fleet" / "shard-0.json").read_text())
     assert shard0["seed"] == shard_seed(_POP.fleet_seed, 0)
     assert shard0["totals"] == report.shards[0].totals
     assert "snapshot" in shard0
+    assert shard0["fingerprint"] == config_fingerprint(config)
+    canonical = (tmp_path / "fleet" / "fleet.canonical.json").read_text()
+    assert canonical == report.canonical_json() + "\n"
+    assert "wall_s" not in canonical
+
+
+# -- supervised dispatch: chaos, resume, degradation --------------------------
+
+_FAST = SupervisionPolicy(backoff_base_s=0.01, backoff_cap_s=0.05,
+                          hedge_after_s=0.05, poll_s=0.01)
+
+
+def _fleet(shards=4, workers=1, policy=_FAST, **kwargs):
+    return run_fleet(FleetConfig(population=_POP, shards=shards,
+                                 workers=workers, supervision=policy),
+                     **kwargs)
+
+
+def test_chaos_worker_kill_is_invisible_in_the_canonical_report():
+    baseline = _fleet(workers=1)
+    killed = _fleet(workers=2, chaos=FleetChaos(kills=((1, 0),)))
+    assert killed.canonical_json() == baseline.canonical_json()
+    assert killed.supervision["worker_deaths"] == 1
+    assert killed.supervision["retries"] == 1
+    assert not killed.degraded
+
+
+def test_chaos_stall_is_reaped_by_timeout_and_retried():
+    baseline = _fleet(workers=1)
+    policy = SupervisionPolicy(backoff_base_s=0.01, backoff_cap_s=0.05,
+                               shard_timeout_s=1.0, hedge=False,
+                               poll_s=0.01)
+    stalled = _fleet(workers=2, policy=policy,
+                     chaos=FleetChaos(stalls=((0, 0, 30.0),)))
+    assert stalled.canonical_json() == baseline.canonical_json()
+    assert stalled.supervision["timeouts"] == 1
+    assert stalled.supervision["retries"] == 1
+    assert stalled.supervision["workers_replaced"] == 1
+
+
+def test_chaos_slow_straggler_is_hedged_first_result_wins():
+    baseline = _fleet(workers=1)
+    hedged = _fleet(workers=3, chaos=FleetChaos(slows=((3, 0, 1.5),)))
+    assert hedged.canonical_json() == baseline.canonical_json()
+    assert hedged.supervision["hedges"] >= 1
+
+
+def test_in_process_chaos_kill_retries_without_multiprocessing():
+    baseline = _fleet(workers=1)
+    killed = _fleet(workers=1, chaos=FleetChaos(kills=((2, 0),)))
+    assert killed.canonical_json() == baseline.canonical_json()
+    assert killed.supervision["retries"] == 1
+
+
+def test_retry_exhaustion_degrades_with_exact_accounting():
+    policy = SupervisionPolicy(max_retries=1, backoff_base_s=0.0,
+                               backoff_cap_s=0.0, poll_s=0.01)
+    report = _fleet(workers=2, policy=policy,
+                    chaos=FleetChaos.poison(2, max_retries=1))
+    assert report.degraded and not report.complete
+    assert report.missing_shards == [2]
+    assert report.supervision["quarantined"] == 1
+    assert len(report.supervision["quarantine_reasons"]) == 1
+    # Conservation still holds over the shards that completed.
+    assert report.ok, report.violations
+    assert report.totals["chunks_sent"] == (
+        report.totals["chunks_delivered"] + report.totals["chunks_lost"])
+    # The missing shard contributes nothing, so totals differ from a
+    # full run by exactly that shard's chunks and clients.
+    full = _fleet(workers=1)
+    missing_shard = [s for s in full.shards if s.shard_id == 2][0]
+    assert sum(s.clients for s in report.shards) == (
+        _POP.clients - missing_shard.clients)
+    assert report.totals["chunks_sent"] == (
+        full.totals["chunks_sent"] - missing_shard.totals["chunks_sent"])
+
+
+def test_degraded_canonical_round_trips():
+    policy = SupervisionPolicy(max_retries=0, backoff_base_s=0.0,
+                               backoff_cap_s=0.0)
+    report = _fleet(workers=1, policy=policy,
+                    chaos=FleetChaos.poison(1, max_retries=0))
+    revived = json.loads(report.canonical_json())
+    assert revived["degraded"] is True
+    assert revived["missing_shards"] == [1]
+    assert "supervision" not in revived       # artifact-only block
+    artifact = report.artifact()
+    assert artifact["supervision"]["quarantined"] == 1
+    snapshot = artifact["supervision"]["snapshot"]
+    assert snapshot["repro_fleet_shard_quarantined_total"]["samples"][0][
+        "value"] == 1
+
+
+def test_resume_skips_completed_shards_and_matches_baseline(tmp_path):
+    out = str(tmp_path / "fleet")
+    baseline = _fleet(workers=1, artifacts_dir=out)
+    os.remove(os.path.join(out, "shard-2.json"))
+    resumed = _fleet(workers=1, resume_dir=out)
+    assert resumed.canonical_json() == baseline.canonical_json()
+    assert resumed.supervision["resumed"] == 3
+    assert resumed.supervision["resumed_shards"] == [0, 1, 3]
+    counters = resumed.supervision["snapshot"]
+    assert counters["repro_fleet_shard_resumed_total"]["samples"][0][
+        "value"] == 3
+
+
+def test_resume_rejects_foreign_fingerprint(tmp_path):
+    out = str(tmp_path / "fleet")
+    _fleet(workers=1, artifacts_dir=out)
+    other = PopulationConfig(clients=64, seconds=1.0, loss_rate=0.02,
+                             fleet_seed=6)       # different fleet seed
+    with pytest.raises(ReproError, match="fingerprint"):
+        run_fleet(FleetConfig(population=other, shards=4, workers=1,
+                              supervision=_FAST), resume_dir=out)
+
+
+def test_resume_rejects_truncated_artifact(tmp_path):
+    out = tmp_path / "fleet"
+    config = FleetConfig(population=_POP, shards=2, workers=1,
+                         supervision=_FAST)
+    run_fleet(config, artifacts_dir=str(out))
+    data = json.loads((out / "shard-0.json").read_text())
+    del data["gids"]                             # pre-resume-era artifact
+    (out / "shard-0.json").write_text(json.dumps(data))
+    with pytest.raises(ReproError, match="missing"):
+        run_fleet(config, resume_dir=str(out))
+
+
+def test_shard_seed_collision_guard(monkeypatch):
+    from repro.evaluation import fleet as fleet_mod
+    monkeypatch.setattr(fleet_mod, "shard_seed",
+                        lambda fleet_seed, shard_id: 42)
+    with pytest.raises(ReproError, match=r"shards \[0, 1, 2, 3\] all "
+                                         r"derive seed 42"):
+        _fleet(workers=1)
+
+
+def test_config_fingerprint_covers_the_inputs_that_matter():
+    base = FleetConfig(population=_POP, shards=4)
+    same = FleetConfig(population=_POP, shards=4, workers=2,
+                       supervision=SupervisionPolicy(max_retries=5))
+    # Workers and supervision shape the *run*, not the numbers.
+    assert config_fingerprint(base) == config_fingerprint(same)
+    for other in (
+            FleetConfig(population=_POP, shards=5),
+            FleetConfig(population=PopulationConfig(
+                clients=64, seconds=1.0, loss_rate=0.02, fleet_seed=6),
+                shards=4),
+            FleetConfig(population=PopulationConfig(
+                clients=64, seconds=1.0, loss_rate=0.03, fleet_seed=5),
+                shards=4)):
+        assert config_fingerprint(base) != config_fingerprint(other)

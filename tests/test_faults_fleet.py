@@ -1,0 +1,70 @@
+"""FleetChaos: the deterministic host-fault schedule."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults.fleet import (
+    CHAOS_EXIT_CODE,
+    ChaosKill,
+    ChaosStall,
+    FleetChaos,
+)
+
+
+def test_validation_rejects_negative_picks():
+    with pytest.raises(ReproError):
+        FleetChaos(kills=((0, -1),))
+    with pytest.raises(ReproError):
+        FleetChaos(stalls=((0, 0, -1.0),))
+    with pytest.raises(ReproError):
+        FleetChaos(slows=((0, -2, 0.1),))
+
+
+def test_seeded_is_deterministic_and_distinct():
+    a = FleetChaos.seeded(7, shards=8, kills=2, stalls=1, slows=1)
+    b = FleetChaos.seeded(7, shards=8, kills=2, stalls=1, slows=1)
+    assert a == b
+    assert FleetChaos.seeded(8, shards=8, kills=2, stalls=1, slows=1) != a
+    picked = ([k for k, _ in a.kills]
+              + [k for k, _, _ in a.stalls]
+              + [k for k, _, _ in a.slows])
+    assert len(picked) == len(set(picked)) == 4
+    assert all(0 <= shard < 8 for shard in picked)
+    with pytest.raises(ReproError):
+        FleetChaos.seeded(7, shards=2, kills=3)
+
+
+def test_poison_covers_every_attempt():
+    chaos = FleetChaos.poison("s", max_retries=2)
+    assert chaos.kills == (("s", 0), ("s", 1), ("s", 2))
+
+
+def test_in_process_apply_raises_instead_of_exiting():
+    chaos = FleetChaos(kills=((3, 0),), stalls=((4, 1, 9.0),))
+    with pytest.raises(ChaosKill):
+        chaos.apply(3, 0, in_process=True)
+    with pytest.raises(ChaosStall):
+        chaos.apply(4, 1, in_process=True)
+    # Unaddressed picks are untouched, in or out of process.
+    chaos.apply(3, 1, in_process=True)
+    chaos.apply(99, 0)
+
+
+def test_slow_sleeps_for_the_pick(monkeypatch):
+    naps = []
+    monkeypatch.setattr("repro.faults.fleet.time.sleep", naps.append)
+    chaos = FleetChaos(slows=((2, 0, 0.25),))
+    chaos.apply(2, 0, in_process=True)     # slows apply in-process too
+    chaos.apply(2, 1, in_process=True)
+    assert naps == [0.25]
+
+
+def test_describe_reads_like_a_reproduce_command():
+    chaos = FleetChaos(kills=((1, 0),), stalls=((2, 0, 30.0),),
+                       slows=((3, 1, 0.2),))
+    text = chaos.describe()
+    assert "kill 1:0" in text
+    assert "stall 2:0(30s)" in text
+    assert "slow 3:1(+0.2s)" in text
+    assert FleetChaos().describe() == "no faults"
+    assert CHAOS_EXIT_CODE == 117

@@ -88,6 +88,37 @@ def test_merge_tolerates_missing_families():
     assert "chunks_total" in merged
 
 
+def test_merge_tolerates_empty_and_absent_snapshots():
+    # A degraded fleet run merges only the shards that completed; the
+    # missing shard contributes either nothing at all (absent from the
+    # list) or an empty {} snapshot — both must be no-ops, and merging
+    # nothing must yield an empty result rather than raising.
+    full = _shard_snapshot(0, 10, 1)
+    with_empty = merge_snapshots([full, {}])
+    assert json.dumps(with_empty, sort_keys=True) == \
+        json.dumps(merge_snapshots([full]), sort_keys=True)
+    assert merge_snapshots([]) == {}
+    assert merge_snapshots([{}, {}]) == {}
+
+
+def _supervision_snapshot(retries, resumed):
+    registry = MetricsRegistry()
+    registry.counter("repro_fleet_shard_retries_total", "").inc(retries)
+    registry.counter("repro_fleet_shard_resumed_total", "").inc(resumed)
+    return registry.snapshot()
+
+
+def test_supervision_counters_fold_across_runs():
+    # Two partial runs' supervision snapshots (e.g. a crashed run plus
+    # its resume) fold into fleet-wide totals like any other counter.
+    merged = merge_snapshots([_supervision_snapshot(2, 0),
+                              _supervision_snapshot(1, 3)])
+    by_name = {name: fam["samples"][0]["value"]
+               for name, fam in merged.items()}
+    assert by_name == {"repro_fleet_shard_retries_total": 3,
+                       "repro_fleet_shard_resumed_total": 3}
+
+
 def test_snapshot_serializes_labels_sorted():
     """Satellite fix: label order in the snapshot must come from sorted
     label names, never family declaration order."""
