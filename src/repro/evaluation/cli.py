@@ -298,6 +298,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="fleet: delay that worker pick by SECONDS "
                              "(repeatable)")
     args = parser.parse_args(argv)
+    if (args.chaos_stall and args.shard_timeout is None
+            and args.workers != 1):
+        # Without a watchdog a multiprocess stall pick just sleeps and
+        # the run succeeds slowly — the drill would exercise nothing
+        # (at workers=1 the stall raises in-process instead, so the
+        # retry path is hit without a timeout).
+        parser.error(
+            "--chaos-stall needs --shard-timeout when workers != 1: "
+            "the stall models a wedged worker and only the wall-clock "
+            "watchdog reaps it; pass a timeout below the stall duration")
     workers = None if args.workers == 0 else args.workers
 
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]

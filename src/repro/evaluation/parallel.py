@@ -117,7 +117,7 @@ class _ChunkRunner:
 def map_unordered(fn: Callable, items: Sequence, workers: int,
                   chunksize: int = 1, supervised: bool = True,
                   policy=None) -> Iterable:
-    """Yield ``fn(item)`` results as workers finish, pool kept warm.
+    """Map ``fn`` over ``items`` on a crash-safe worker pool.
 
     The fleet runner's dispatch primitive.  By default dispatch runs
     through :class:`~repro.evaluation.supervised.SupervisedPool`: a
@@ -125,9 +125,14 @@ def map_unordered(fn: Callable, items: Sequence, workers: int,
     the chunk is retried per ``policy`` (a
     :class:`~repro.evaluation.supervised.SupervisionPolicy`; default:
     two retries with capped backoff, hedged stragglers) and a chunk that
-    exhausts its retries raises :class:`ReproError` naming it.
-    ``supervised=False`` keeps the bare ``Pool.imap_unordered`` path —
-    the baseline the supervision-overhead benchmark compares against.
+    exhausts its retries raises :class:`ReproError` naming it.  Note the
+    supervised path is **not** streaming: it buffers the entire run and
+    only starts yielding (in chunk-completion order) once every chunk
+    has settled, so a quarantine raises before any result is produced.
+    ``supervised=False`` keeps the bare ``Pool.imap_unordered`` path,
+    which does yield each result as its worker finishes and re-raises
+    the worker's own exception — the baseline the supervision-overhead
+    benchmark compares against.
 
     ``chunksize`` batches items so each worker pickup carries several;
     retry/timeout granularity under supervision is the chunk.  Callers

@@ -308,9 +308,16 @@ class SupervisedPool:
                 slot.conn.send(msg)
             except (BrokenPipeError, OSError):
                 # The worker died idle; replace it and send once more —
-                # a second failure is a real dispatch failure.
+                # a second failure is a real dispatch failure.  replace()
+                # marks the slot idle, so the dispatch state must be
+                # restored or the supervisor would assign this worker a
+                # second task and never poll for this dispatch's result.
                 self.stats.worker_deaths += 1
                 replace(slot)
+                slot.task_id = task_id
+                slot.attempt = attempt
+                slot.started_at = self._clock()
+                slot.hedged = hedged
                 slot.conn.send(msg)
 
         def replace(slot: _Slot) -> None:

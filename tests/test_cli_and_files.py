@@ -147,6 +147,26 @@ def test_cli_fleet_survives_a_chaos_kill(capsys):
     assert "retries=1" in out
 
 
+def test_cli_fleet_stall_drill_requires_timeout_with_workers(capsys):
+    # A multiprocess stall pick without a watchdog just sleeps and then
+    # succeeds — nothing exercised, a broken watchdog looks green.  The
+    # CLI rejects the no-op drill up front (argparse error, exit 2).
+    base = ["fleet", "--seconds", "1", "--clients", "16", "--shards", "2"]
+    with pytest.raises(SystemExit) as exc:
+        main(base + ["--workers", "2", "--chaos-stall", "0:0:1"])
+    assert exc.value.code == 2
+    assert "--shard-timeout" in capsys.readouterr().err
+
+
+def test_cli_fleet_stall_drill_in_process_needs_no_timeout(capsys):
+    # At workers=1 a stall surfaces as an immediate in-process failure,
+    # so the retry path is exercised without a wall-clock watchdog and
+    # the guard must not fire.
+    base = ["fleet", "--seconds", "1", "--clients", "16", "--shards", "2"]
+    assert main(base + ["--chaos-stall", "0:0:1"]) == 0
+    assert "retries=1" in capsys.readouterr().out
+
+
 def test_cli_fleet_rejects_bad_chaos_spec(capsys):
     from repro.evaluation.cli import _parse_chaos_picks
     with pytest.raises(ReproError, match="bad chaos pick"):

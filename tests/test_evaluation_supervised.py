@@ -8,6 +8,7 @@ multiprocessing at all.
 """
 
 import multiprocessing
+import threading
 
 import pytest
 
@@ -134,6 +135,40 @@ def test_worker_kill_is_retried():
     assert pool.stats.worker_deaths == 1
     assert pool.stats.workers_replaced == 1
     assert pool.stats.retries == 1
+    assert not pool.failures
+
+
+def test_idle_worker_death_recovery_keeps_slot_state():
+    # Regression: dispatch()'s broken-pipe recovery (a worker that died
+    # *idle*, e.g. OOM between dispatches) replaces the worker and
+    # re-sends — and must restore the slot's in-flight state.  When the
+    # slot is left looking idle, the supervisor assigns it a second
+    # task, the re-sent dispatch is never polled, and the run hangs.
+    pool = SupervisedPool(_double, workers=2, policy=_FAST)
+    real_spawn = pool._spawn
+    first = []
+
+    def spawn_dead_first(ctx):
+        slot = real_spawn(ctx)
+        if not first:
+            first.append(True)
+            slot.conn.send(None)      # orderly exit: the worker dies idle
+            slot.process.join(timeout=5.0)
+        return slot
+
+    pool._spawn = spawn_dead_first
+    results = {}
+    runner = threading.Thread(
+        target=lambda: results.update(pool.run([0, 1, 2, 3])),
+        daemon=True)
+    runner.start()
+    runner.join(timeout=30.0)
+    assert not runner.is_alive(), "supervisor hung after idle worker death"
+    assert results == {0: 0, 1: 2, 2: 4, 3: 6}
+    assert pool.stats.worker_deaths == 1
+    assert pool.stats.workers_replaced == 1
+    # The re-send is the same attempt, not a retry.
+    assert pool.stats.retries == 0
     assert not pool.failures
 
 
