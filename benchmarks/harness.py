@@ -419,13 +419,88 @@ def _fleet_supervision_overhead(population) -> Dict[str, float]:
     }
 
 
+def bench_rdma_kv() -> Dict[str, float]:
+    """One-sided RDMA gets vs two-sided RPC gets on the KV cache.
+
+    The scenario runs both paths over the same populated cache: batched
+    one-sided reads (one doorbell per batch, no remote dispatch) and the
+    equivalent two-sided ``Get`` RPCs.  ``speedup_sim`` is the paper-
+    style claim — simulated time for the RPC sweep over the one-sided
+    sweep — gated on the committed baseline by ``test_bench_rdma.py``;
+    ``events_per_sec`` is the usual wall-clock regression gate.
+    """
+    from repro.rdma.kv import run_kv_scenario
+
+    start = time.perf_counter()
+    report = run_kv_scenario(keys=192, batch=8)
+    wall_s = time.perf_counter() - start
+    one_sided_ns = report["one_sided_ns"]
+    rpc_ns = report["rpc_ns"]
+    return {
+        "wall_s": wall_s,
+        "sim_ns": report["sim_ns"],
+        "events": report["events"],
+        "events_per_sec": (report["events"] / wall_s if wall_s > 0
+                           else 0.0),
+        "keys": report["keys"],
+        "one_sided_ns": one_sided_ns,
+        "rpc_ns": rpc_ns,
+        "speedup_sim": rpc_ns / one_sided_ns if one_sided_ns else 0.0,
+        "one_sided_gets_per_sim_sec": (report["keys"] * 1e9 / one_sided_ns
+                                       if one_sided_ns else 0.0),
+        "rpc_gets_per_sim_sec": (report["keys"] * 1e9 / rpc_ns
+                                 if rpc_ns else 0.0),
+        "one_sided_host_cpu_ns": report["one_sided_host_cpu_ns"],
+        "rpc_host_cpu_ns": report["rpc_host_cpu_ns"],
+        "doorbells": report["doorbells"],
+        "rdma_reads": report["rdma_reads"],
+        "correct": 1.0 if report["correct"] else 0.0,
+        "conservation_ok": 1.0 if report["imbalance"] == 0 else 0.0,
+    }
+
+
+def bench_spin_filter() -> Dict[str, float]:
+    """The sPIN telemetry filter: packets through in-NIC handlers.
+
+    Reports the in-network absorption rate (what fraction of the line
+    the host never saw) alongside the wall-clock gate.
+    """
+    from repro.rdma.filter import run_filter_scenario
+
+    start = time.perf_counter()
+    report = run_filter_scenario(packets=400)
+    wall_s = time.perf_counter() - start
+    rx = report["rx_packets"]
+    return {
+        "wall_s": wall_s,
+        "sim_ns": report["sim_ns"],
+        "events": report["events"],
+        "events_per_sec": (report["events"] / wall_s if wall_s > 0
+                           else 0.0),
+        "rx_packets": rx,
+        "packets_per_sim_sec": (rx * 1e9 / report["elapsed_ns"]
+                                if report["elapsed_ns"] else 0.0),
+        "spin_handled": report["spin_handled"],
+        "spin_dropped": report["spin_dropped"],
+        "spin_to_host": report["spin_to_host"],
+        "budget_overruns": report["budget_overruns"],
+        "host_rx_packets": report["host_rx_packets"],
+        "host_absorption": (1.0 - report["host_rx_packets"] / rx
+                            if rx else 0.0),
+        "host_cpu_ns": report["host_cpu_ns"],
+        "accounted": 1.0 if report["accounted"] else 0.0,
+    }
+
+
 BENCHMARKS: Dict[str, Callable[[], Dict[str, float]]] = {
     "engine_micro_tivopc": bench_engine_micro_tivopc,
     "engine_micro_telemetry": bench_engine_micro_telemetry,
     "fleet": bench_fleet,
     "migration_downtime": bench_migration_downtime,
     "offloaded_tivopc": bench_offloaded_tivopc,
+    "rdma_kv": bench_rdma_kv,
     "retransmit_path": bench_retransmit_path,
+    "spin_filter": bench_spin_filter,
     "timeout_storm": bench_timeout_storm,
     "timer_churn": bench_timer_churn,
 }

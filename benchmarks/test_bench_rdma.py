@@ -1,0 +1,70 @@
+"""RDMA substrate benchmarks: one-sided KV gets and the sPIN filter.
+
+Split the same way as the fleet benchmark: invariants that wall-clock
+noise cannot touch (correctness, conservation, accounting identities)
+gate on the live run, while the headline perf claim — one-sided batched
+gets beat two-sided RPC gets — gates on the committed bench.json, so
+the substrate's reason to exist cannot regress silently.
+"""
+
+import json
+
+from conftest import publish
+
+from harness import DEFAULT_BENCH_JSON, run_all
+
+
+def test_bench_rdma_kv(one_shot):
+    report = one_shot(run_all, ["rdma_kv"], repeat=1)
+    kv = report["benchmarks"]["rdma_kv"]
+    publish("rdma_kv", "\n".join([
+        f"RDMA KV cache -- {kv['keys']:.0f} keys, one-sided vs RPC",
+        f"one-sided sweep      {kv['one_sided_ns']:>14,.0f} sim-ns",
+        f"two-sided sweep      {kv['rpc_ns']:>14,.0f} sim-ns",
+        f"speedup              {kv['speedup_sim']:>13.2f}x",
+        f"one-sided host CPU   {kv['one_sided_host_cpu_ns']:>14,.0f} ns",
+        f"two-sided host CPU   {kv['rpc_host_cpu_ns']:>14,.0f} ns",
+        f"doorbells / reads    {kv['doorbells']:>8.0f} / "
+        f"{kv['rdma_reads']:.0f}",
+    ]), data=kv)
+
+    # Noise-free invariants on the live run.
+    assert kv["correct"] == 1
+    assert kv["conservation_ok"] == 1
+    assert kv["speedup_sim"] > 1.0              # sim time, not wall time
+    assert kv["one_sided_host_cpu_ns"] < kv["rpc_host_cpu_ns"]
+    assert kv["doorbells"] * 2 <= kv["rdma_reads"]   # batching amortized
+
+    # The committed baseline carries the acceptance bar: one-sided gets
+    # beat two-sided RPC gets by a wide margin on the reference machine.
+    committed = json.loads(DEFAULT_BENCH_JSON.read_text())["benchmarks"]
+    assert committed["rdma_kv"]["speedup_sim"] >= 2.0
+    assert (committed["rdma_kv"]["one_sided_gets_per_sim_sec"]
+            > committed["rdma_kv"]["rpc_gets_per_sim_sec"])
+    assert (committed["rdma_kv"]["one_sided_host_cpu_ns"]
+            < committed["rdma_kv"]["rpc_host_cpu_ns"])
+
+
+def test_bench_spin_filter(one_shot):
+    report = one_shot(run_all, ["spin_filter"], repeat=1)
+    spin = report["benchmarks"]["spin_filter"]
+    publish("spin_filter", "\n".join([
+        f"sPIN telemetry filter -- {spin['rx_packets']:.0f} packets "
+        "received",
+        f"handled in-network   {spin['spin_handled']:>10.0f}",
+        f"dropped (denylist)   {spin['spin_dropped']:>10.0f}",
+        f"escalated (sampled)  {spin['spin_to_host']:>10.0f}",
+        f"budget overruns      {spin['budget_overruns']:>10.0f}",
+        f"host saw             {spin['host_rx_packets']:>10.0f} packets "
+        f"({100 * (1 - spin['host_absorption']):.1f} %)",
+        f"host CPU on rx path  {spin['host_cpu_ns']:>10,.0f} ns",
+    ]), data=spin)
+
+    assert spin["accounted"] == 1      # handled + punted == received
+    assert spin["spin_dropped"] > 0
+    assert spin["budget_overruns"] > 0
+    # In-network absorption is the point: the host sleeps through the
+    # overwhelming majority of the line.
+    assert spin["host_absorption"] >= 0.75
+    committed = json.loads(DEFAULT_BENCH_JSON.read_text())["benchmarks"]
+    assert committed["spin_filter"]["host_absorption"] >= 0.75

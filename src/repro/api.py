@@ -76,6 +76,14 @@ from repro.hw import (
     ProgrammableDevice,
     SmartDisk,
 )
+from repro.hw.spin import (
+    DROP,
+    SPIN_FEATURE,
+    TO_HOST,
+    SpinHandlers,
+    SpinNic,
+    SpinNicSpec,
+)
 
 # -- host OS and network -----------------------------------------------------------
 from repro.hostos import Kernel, KernelConfig, NfsServer, UdpStack
@@ -133,6 +141,18 @@ from repro.core.executive import (
     ChannelExecutive,
 )
 from repro.core.providers import CostMetric
+
+# -- one-sided RDMA substrate ---------------------------------------------------------
+from repro.rdma import (
+    RDMA_FEATURE,
+    Completion,
+    CompletionQueue,
+    QueuePair,
+    RdmaProvider,
+    RdmaRegion,
+    RdmaStats,
+    WorkRequest,
+)
 
 # -- layout optimization (Section 5) --------------------------------------------------
 from repro.core.layout import (
@@ -227,6 +247,7 @@ from repro.errors import (
     MigrationError,
     OffloadTimeoutError,
     ProviderError,
+    RdmaError,
     RetryBudgetExceededError,
 )
 
@@ -385,5 +406,22 @@ __all__ = [
     "MigrationError",
     "OffloadTimeoutError",
     "ProviderError",
+    "RdmaError",
     "RetryBudgetExceededError",
+    # one-sided RDMA substrate
+    "Completion",
+    "CompletionQueue",
+    "QueuePair",
+    "RDMA_FEATURE",
+    "RdmaProvider",
+    "RdmaRegion",
+    "RdmaStats",
+    "WorkRequest",
+    # sPIN NIC handlers
+    "DROP",
+    "SPIN_FEATURE",
+    "SpinHandlers",
+    "SpinNic",
+    "SpinNicSpec",
+    "TO_HOST",
 ]

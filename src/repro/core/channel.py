@@ -130,6 +130,9 @@ class ChannelConfig:
     label: str = ""
     # Coalescing watermarks; None = unbatched (the default).
     batch: Optional[BatchConfig] = None
+    # Pin provider selection to one provider by name (None = let the
+    # executive rank every capable provider by cost).
+    preferred_provider: Optional[str] = None
 
     def __init__(self, kind: ChannelKind = ChannelKind.UNICAST,
                  reliability: Reliability = Reliability.RELIABLE,
@@ -137,7 +140,8 @@ class ChannelConfig:
                  buffering: Buffering = Buffering.DIRECT,
                  ring_slots: int = 64, priority: int = 1,
                  target_device: Optional[str] = None, label: str = "",
-                 batch: Optional[BatchConfig] = None) -> None:
+                 batch: Optional[BatchConfig] = None,
+                 preferred_provider: Optional[str] = None) -> None:
         """Build a config; prefer the fluent classmethods over raw kwargs."""
         if _BUILDER_DEPTH == 0:
             explicit = [name for name, value, default in (
@@ -164,6 +168,7 @@ class ChannelConfig:
         object.__setattr__(self, "target_device", target_device)
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "batch", batch)
+        object.__setattr__(self, "preferred_provider", preferred_provider)
 
     # -- internal copy-on-write (never warns) ---------------------------------------
 
@@ -258,6 +263,16 @@ class ChannelConfig:
     def with_target(self, device: Optional[str]) -> "ChannelConfig":
         """Copy of this config with ``target_device`` set (Figure 3)."""
         return self._evolve(target_device=device)
+
+    def via(self, provider: Optional[str]) -> "ChannelConfig":
+        """Pin provider selection to ``provider`` (by registered name).
+
+        The executive still checks ``can_serve`` — a pinned provider
+        that cannot reach the endpoints raises
+        :class:`~repro.errors.ProviderError` instead of silently
+        falling back.  ``via(None)`` restores cost-ranked selection.
+        """
+        return self._evolve(preferred_provider=provider)
 
 
 @dataclass(frozen=True)

@@ -325,13 +325,21 @@ class ChannelExecutive:
         re-solve changes the topology.
         """
         key = (src.name, dst.name, config.kind, config.reliability,
-               config.sync, config.buffering, size_hint)
+               config.sync, config.buffering, config.preferred_provider,
+               size_hint)
         cached = self._cost_cache.get(key)
         if cached is not None and cached.can_serve(src, dst, config):
             self.cost_cache_hits += 1
             return cached
         candidates = [p for p in self._providers
                       if p.can_serve(src, dst, config)]
+        if config.preferred_provider is not None:
+            candidates = [p for p in candidates
+                          if p.name == config.preferred_provider]
+            if not candidates:
+                raise ProviderError(
+                    f"pinned provider {config.preferred_provider!r} "
+                    f"cannot serve {src.name} -> {dst.name}")
         if not candidates:
             raise ProviderError(
                 f"no channel provider can serve {src.name} -> {dst.name} "

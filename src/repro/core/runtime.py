@@ -265,11 +265,22 @@ class HydraRuntime:
         self.device_runtimes: Dict[str, DeviceRuntime] = {}
         self.executive.register_provider(LoopbackProvider(machine))
         self.executive.register_provider(PeerDmaProvider(machine))
+        # One-sided substrate: devices advertising the "rdma" feature
+        # get an RdmaProvider next to their DMA provider; the executive
+        # ranks the two by cost like any other pair.  (Function-level
+        # import: repro.rdma depends on repro.core.)
+        from repro.rdma.provider import RDMA_FEATURE, RdmaProvider
+        self.rdma_providers: Dict[str, RdmaProvider] = {}
         for name, device in machine.devices.items():
             runtime = DeviceRuntime(device)
             self.device_runtimes[name] = runtime
             self.executive.register_provider(DmaChannelProvider(
                 machine, device, self.memory, kernel=kernel))
+            if device.spec.has_feature(RDMA_FEATURE):
+                provider = RdmaProvider(machine, device, self.memory,
+                                        kernel=kernel)
+                self.rdma_providers[name] = provider
+                self.executive.register_provider(provider)
 
         self._bootstrap_pseudo_offcodes()
 
@@ -330,6 +341,16 @@ class HydraRuntime:
         if offcode is None:
             raise HydraError(f"no offcode registered as {bindname!r}")
         return offcode
+
+    def rdma_provider(self, name: str):
+        """The :class:`~repro.rdma.provider.RdmaProvider` of one
+        rdma-featured device (HydraError if the device has none)."""
+        try:
+            return self.rdma_providers[name]
+        except KeyError:
+            raise HydraError(
+                f"device {name!r} has no RDMA provider (missing the "
+                "'rdma' feature?)") from None
 
     def device_runtime(self, name: str) -> DeviceRuntime:
         """The firmware runtime of one device (HydraError if absent)."""

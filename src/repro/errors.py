@@ -128,6 +128,11 @@ class ProviderError(HydraError):
     """No channel provider can satisfy a requested channel configuration."""
 
 
+class RdmaError(HydraError):
+    """One-sided verb misuse: bad rkey, out-of-bounds access, revoked
+    memory region, or a queue pair driven against a dead RDMA engine."""
+
+
 class AdmissionShedError(ChannelError):
     """A call was shed by admission control during overload or a drain.
 

@@ -23,6 +23,8 @@ from repro.hw.gpu import Gpu, GpuSpec
 from repro.hw.machine import Machine, MachineSpec
 from repro.hw.nic import Nic, NicSpec
 from repro.hw.power import ComponentEnergy, PowerModel
+from repro.hw.spin import (DROP, SPIN_FEATURE, TO_HOST, SpinHandlers,
+                           SpinNic, SpinNicSpec)
 
 __all__ = [
     "BLOCK_SIZE",
@@ -32,6 +34,7 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "ComponentEnergy",
+    "DROP",
     "Cpu",
     "CpuSampler",
     "CpuSpec",
@@ -50,7 +53,12 @@ __all__ = [
     "NicSpec",
     "PowerModel",
     "ProgrammableDevice",
+    "SPIN_FEATURE",
     "SampledCacheMonitor",
     "SmartDisk",
+    "SpinHandlers",
+    "SpinNic",
+    "SpinNicSpec",
+    "TO_HOST",
     "XSCALE_CPU",
 ]

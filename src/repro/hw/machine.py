@@ -75,6 +75,11 @@ class Machine:
         """Attach a programmable NIC to this machine's bus."""
         return self._register(Nic(self.sim, self.bus, spec))  # type: ignore[return-value]
 
+    def add_spin_nic(self, spec: Optional[DeviceSpec] = None):
+        """Attach a sPIN-capable NIC (per-packet handler offcodes)."""
+        from repro.hw.spin import SpinNic
+        return self._register(SpinNic(self.sim, self.bus, spec))
+
     def add_gpu(self, spec: Optional[DeviceSpec] = None) -> Gpu:
         """Attach a programmable graphics adapter."""
         return self._register(Gpu(self.sim, self.bus, spec))  # type: ignore[return-value]

@@ -62,6 +62,14 @@ class Packet:
         """Bytes occupying the wire, headers included."""
         return self.size_bytes + ETH_IP_UDP_HEADER_BYTES
 
+    def flow(self) -> tuple:
+        """The 4-tuple identifying this packet's flow.
+
+        What an in-network header handler keys its per-flow state on
+        (the 5-tuple minus the protocol, which is always UDP here).
+        """
+        return (self.src.host, self.src.port, self.dst.host, self.dst.port)
+
     def latency_ns(self) -> Optional[int]:
         """received - sent timestamps, or None if either is unset."""
         if self.sent_at_ns is None or self.received_at_ns is None:

@@ -1,0 +1,30 @@
+"""repro.rdma — the one-sided offload substrate.
+
+Registered memory regions (:mod:`repro.rdma.mr`), one-sided verbs with
+doorbell batching and completion queues (:mod:`repro.rdma.verbs`), the
+:class:`~repro.rdma.provider.RdmaProvider` channel provider, and two
+non-video scenarios built on top: the offloaded key-value cache
+(:mod:`repro.rdma.kv`) and the sPIN packet-telemetry filter
+(:mod:`repro.rdma.filter`).
+
+The scenario modules are imported lazily — ``import repro.rdma`` pulls
+in only the substrate, not the workloads.
+"""
+
+from __future__ import annotations
+
+from repro.rdma.mr import RdmaRegion
+from repro.rdma.provider import RDMA_FEATURE, RdmaProvider
+from repro.rdma.verbs import (Completion, CompletionQueue, QueuePair,
+                              RdmaStats, WorkRequest)
+
+__all__ = ["RdmaRegion", "RdmaProvider", "RDMA_FEATURE", "WorkRequest",
+           "Completion", "CompletionQueue", "QueuePair", "RdmaStats",
+           "kv", "filter"]
+
+
+def __getattr__(name):
+    if name in ("kv", "filter"):
+        import importlib
+        return importlib.import_module(f"repro.rdma.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

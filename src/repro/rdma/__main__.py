@@ -1,0 +1,69 @@
+"""CLI for the RDMA substrate scenarios (the CI substrate-smoke job).
+
+Usage::
+
+    python -m repro.rdma kv                  # one-sided vs RPC report
+    python -m repro.rdma chaos --seeds 0:10  # RNIC-crash drill sweep
+    python -m repro.rdma filter              # sPIN telemetry report
+
+``chaos`` exits non-zero if any seed fails its invariants (exactly-once
+results, one-sided conservation, recovered incident) — that exit code
+is the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.rdma.filter import run_filter_scenario
+from repro.rdma.kv import run_kv_chaos, run_kv_scenario
+
+
+def _parse_seeds(spec: str):
+    if ":" in spec:
+        lo, hi = spec.split(":", 1)
+        return range(int(lo), int(hi))
+    return [int(s) for s in spec.split(",")]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.rdma")
+    sub = parser.add_subparsers(dest="command", required=True)
+    kv = sub.add_parser("kv", help="one-sided KV gets vs two-sided RPC")
+    kv.add_argument("--keys", type=int, default=96)
+    kv.add_argument("--batch", type=int, default=8)
+    chaos = sub.add_parser("chaos", help="RNIC-crash recovery drill")
+    chaos.add_argument("--seeds", default="0:5",
+                       help="range lo:hi or comma list")
+    fil = sub.add_parser("filter", help="sPIN packet-telemetry filter")
+    fil.add_argument("--packets", type=int, default=400)
+    args = parser.parse_args(argv)
+
+    if args.command == "kv":
+        report = run_kv_scenario(keys=args.keys, batch=args.batch)
+        print(json.dumps(report, indent=2))
+        speedup = report["rpc_ns"] / max(1, report["one_sided_ns"])
+        print(f"one-sided speedup: {speedup:.2f}x", file=sys.stderr)
+        return 0 if report["correct"] and speedup > 1.0 else 1
+
+    if args.command == "chaos":
+        failures = 0
+        for seed in _parse_seeds(args.seeds):
+            report = run_kv_chaos(seed=seed)
+            print(json.dumps(report))
+            if not report["ok"]:
+                failures += 1
+        if failures:
+            print(f"{failures} seed(s) failed", file=sys.stderr)
+        return 1 if failures else 0
+
+    report = run_filter_scenario(packets=args.packets)
+    report.pop("flow_rows", None)
+    print(json.dumps(report, indent=2))
+    return 0 if report["accounted"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

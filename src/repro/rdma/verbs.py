@@ -1,0 +1,362 @@
+"""One-sided verbs: work requests, completion queues, queue pairs.
+
+The verb lifecycle mirrors a real RNIC's:
+
+1. **post** — :meth:`QueuePair.post_read` / ``post_write`` /
+   ``post_compare_and_swap`` append a :class:`WorkRequest` to the send
+   queue.  Posting is a plain method (no simulated time passes); the
+   host CPU cost of building the WRs is charged when the doorbell
+   rings, so a batch of posts amortizes into one submission.
+2. **doorbell** — :meth:`QueuePair.ring_doorbell` is the only place
+   simulated time is spent: one MMIO write submits *every* pending WR,
+   the engine moves the batch as a single scatter-gather bus
+   transaction (PR 2's vectored verbs), and one completion event covers
+   the lot.  This is where "amortized descriptors and interrupts" comes
+   from — the benchmark's win is this loop.
+3. **complete** — every WR ends as a :class:`Completion` in the
+   :class:`CompletionQueue`: ``polled`` mode charges a cheap CQ poll on
+   the initiator, ``interrupt`` mode raises one coalesced interrupt per
+   doorbell (never per WR).
+
+The remote side never appears in the lifecycle: no descriptor ring, no
+dispatch, no remote Offcode scheduled.  A verb against a crashed engine
+(or a region whose owner died) fails *as a completion* — the accounting
+law ``posted == completed + failed`` stays checkable mid-chaos.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional
+
+from repro.errors import DeviceFailedError, RdmaError
+from repro.rdma.mr import RdmaRegion
+from repro.sim.engine import Event
+
+__all__ = ["WorkRequest", "Completion", "CompletionQueue", "QueuePair",
+           "RdmaStats"]
+
+# Verb-engine cost constants (the RDMA analogue of providers.py's
+# descriptor costs).  Posting a WR is a user-space queue append; the
+# doorbell is one uncached MMIO write; the engine spends WR-processing
+# time per request; a CQ poll is a cache-hot read of the completion
+# entry.  Compare _DESCRIPTOR_HOST_NS=500 / _DESCRIPTOR_DEVICE_NS=900
+# on the two-sided path: the one-sided path replaces both with
+# 150 + 120 on the initiator and nothing at all on the target CPU.
+POST_WR_NS = 150
+DOORBELL_NS = 250
+WR_ENGINE_NS = 400
+CQ_POLL_NS = 120
+MR_REGISTER_NS = 2_000
+CAS_WIRE_BYTES = 16
+
+_wr_counter = itertools.count(1)
+
+
+@dataclass
+class WorkRequest:
+    """One posted verb, not yet completed."""
+
+    op: str                        # "read" | "write" | "cas"
+    region: RdmaRegion
+    offset: int
+    length: int
+    value: Any = None              # write payload
+    expected: int = 0              # cas operands
+    desired: int = 0
+    wr_id: int = field(default_factory=lambda: next(_wr_counter))
+
+
+@dataclass
+class Completion:
+    """The terminal record of one work request."""
+
+    wr_id: int
+    op: str
+    status: str                    # "ok" | "error"
+    value: Any = None              # read result / CAS old value
+    error: str = ""
+    completed_at_ns: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the verb executed."""
+        return self.status == "ok"
+
+
+class CompletionQueue:
+    """Where completions land; polled or interrupt-driven.
+
+    ``polled`` charges :data:`CQ_POLL_NS` per completion on the
+    initiating site when the doorbell drains.  ``interrupt`` raises one
+    coalesced host interrupt per doorbell (charged through the kernel's
+    ISR path when one is attached) — per-WR interrupts never happen, by
+    construction.
+    """
+
+    MODES = ("polled", "interrupt")
+
+    def __init__(self, site, mode: str = "polled", kernel=None) -> None:
+        if mode not in self.MODES:
+            raise RdmaError(f"unknown CQ mode {mode!r}; "
+                            f"pick one of {self.MODES}")
+        self.site = site
+        self.mode = mode
+        self.kernel = kernel
+        self._entries: List[Completion] = []
+        self.interrupts = 0
+        self.polls = 0
+
+    def push(self, completion: Completion) -> None:
+        """Engine-side append (no cost here; the doorbell charges it)."""
+        self._entries.append(completion)
+
+    def poll(self) -> List[Completion]:
+        """Drain every pending completion (non-blocking)."""
+        entries, self._entries = self._entries, []
+        self.polls += 1
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def notify(self, count: int = 1) -> Generator[Event, None, None]:
+        """Charge the notification cost for one doorbell's ``count``
+        completions — priced by the batch it covers, not by whatever
+        undrained entries happen to sit in the queue."""
+        if self.mode == "interrupt":
+            self.interrupts += 1
+            if self.kernel is not None:
+                yield from self.kernel.isr()
+            return
+        yield from self.site.execute(CQ_POLL_NS * max(1, count),
+                                     context="rdma-cq")
+
+
+@dataclass
+class RdmaStats:
+    """One engine's one-sided accounting (the conservation inputs).
+
+    The one-sided law is ``posted == completed + failed``: the two-sided
+    ``sent == delivered + dropped`` cannot describe verbs because
+    nothing is ever "delivered" — there is no receive path to count at.
+    """
+
+    posted: int = 0
+    completed: int = 0
+    failed: int = 0
+    reads: int = 0
+    writes: int = 0
+    cas: int = 0
+    doorbells: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def imbalance(self) -> int:
+        """posted - (completed + failed); nonzero = WRs lost in flight."""
+        return self.posted - (self.completed + self.failed)
+
+
+class QueuePair:
+    """An initiator's submission context toward one RDMA engine.
+
+    ``engine`` is the RNIC executing the verbs (an rdma-featured
+    :class:`~repro.hw.device.ProgrammableDevice`); ``site`` is the
+    initiating execution site whose CPU pays for posts and doorbells.
+    Regions may live anywhere on the engine's bus — host memory, the
+    engine's own local memory, or a peer device's (the smart-disk KV
+    region) — the engine bus-masters the transfer either way.
+    """
+
+    def __init__(self, site, engine, cq: CompletionQueue,
+                 stats: RdmaStats) -> None:
+        self.site = site
+        self.engine = engine
+        self.cq = cq
+        self.stats = stats
+        self._pending: List[WorkRequest] = []
+
+    # -- posting (no simulated time) ------------------------------------------------
+
+    def post_read(self, region: RdmaRegion, offset: int,
+                  length: int) -> int:
+        """Queue a one-sided read; returns the wr_id."""
+        region.check(offset, length)
+        wr = WorkRequest(op="read", region=region, offset=offset,
+                         length=max(1, length))
+        self._pending.append(wr)
+        self.stats.posted += 1
+        return wr.wr_id
+
+    def post_write(self, region: RdmaRegion, offset: int, value: Any,
+                   length: int) -> int:
+        """Queue a one-sided write; returns the wr_id."""
+        region.check(offset, length)
+        wr = WorkRequest(op="write", region=region, offset=offset,
+                         length=max(1, length), value=value)
+        self._pending.append(wr)
+        self.stats.posted += 1
+        return wr.wr_id
+
+    def post_compare_and_swap(self, region: RdmaRegion, offset: int,
+                              expected: int, desired: int) -> int:
+        """Queue an atomic CAS on a 64-bit word; returns the wr_id."""
+        region.check(offset, 8)
+        wr = WorkRequest(op="cas", region=region, offset=offset,
+                         length=8, expected=expected, desired=desired)
+        self._pending.append(wr)
+        self.stats.posted += 1
+        return wr.wr_id
+
+    @property
+    def pending(self) -> int:
+        """WRs posted but not yet submitted by a doorbell."""
+        return len(self._pending)
+
+    # -- doorbell -------------------------------------------------------------------
+
+    def ring_doorbell(self) -> Generator[Event, None, List[Completion]]:
+        """Submit every pending WR as one batch; returns its completions.
+
+        One initiator-CPU charge covers all the posts plus the MMIO
+        write; the engine gathers same-direction verbs into single
+        scatter-gather bus transactions; one CQ notification (poll or
+        coalesced interrupt) covers the whole batch.  Failures — a dead
+        engine, a dead region owner, an engine crash mid-transfer —
+        surface as ``status="error"`` completions, never as lost WRs.
+        """
+        batch, self._pending = self._pending, []
+        if not batch:
+            return []
+        yield from self.site.execute(
+            POST_WR_NS * len(batch) + DOORBELL_NS, context="rdma-post")
+        self.stats.doorbells += 1
+        completions: List[Completion] = []
+        try:
+            yield from self.engine.run_on_device(
+                WR_ENGINE_NS * len(batch), context="rdma-engine")
+            for direction, group in self._grouped(batch):
+                yield from self._move(direction, group)
+            for wr in batch:
+                completions.append(self._apply(wr))
+        except DeviceFailedError as exc:
+            done = {c.wr_id for c in completions}
+            for wr in batch:
+                if wr.wr_id not in done:
+                    completions.append(self._fail(wr, repr(exc)))
+        for completion in completions:
+            completion.completed_at_ns = self.site.sim.now
+            self.cq.push(completion)
+        yield from self.cq.notify(len(completions))
+        return completions
+
+    # -- engine internals -------------------------------------------------------------
+
+    def _grouped(self, batch: List[WorkRequest]):
+        """Same-direction runs, preserving program order across flips."""
+        run: List[WorkRequest] = []
+        direction = None
+        for wr in batch:
+            wr_dir = "out" if wr.op == "write" else "in"
+            if wr.op == "cas":
+                wr_dir = "cas"
+            if direction is not None and wr_dir != direction:
+                yield direction, run
+                run = []
+            direction = wr_dir
+            run.append(wr)
+        if run:
+            yield direction, run
+
+    def _memory_name(self, location: str) -> str:
+        from repro.hw.bus import HOST_MEMORY
+        return HOST_MEMORY if location == "host" else location
+
+    def _owner_dead(self, region: RdmaRegion) -> bool:
+        if region.owner == "host":
+            return False
+        if region.owner == self.engine.name:
+            return False          # the engine barrier already covers it
+        owner = self.engine.bus.endpoint(region.owner)
+        health = getattr(owner, "health", None)
+        return health is not None and health.crashed
+
+    def _move(self, direction: str, group: List[WorkRequest]
+              ) -> Generator[Event, None, None]:
+        """One scatter-gather bus transaction for a same-direction run.
+
+        Dead-owner WRs are excluded from the wire (they fail in
+        :meth:`_apply` without moving bytes).
+        """
+        live = [wr for wr in group if not self._owner_dead(wr.region)]
+        if not live:
+            return
+        initiator_mem = self._memory_name(self.site.name)
+        yield from self.engine.health.barrier()
+        if direction == "cas":
+            # Atomics are tiny round trips, never gathered.
+            for wr in live:
+                target = self._memory_name(wr.region.owner)
+                yield from self._wire(initiator_mem, target,
+                                      [CAS_WIRE_BYTES])
+            return
+        by_owner: dict = {}
+        for wr in live:
+            by_owner.setdefault(wr.region.owner, []).append(wr.length)
+        for owner, sizes in by_owner.items():
+            target = self._memory_name(owner)
+            if direction == "in":
+                src, dst = target, initiator_mem
+            else:
+                src, dst = initiator_mem, target
+            yield from self._wire(src, dst, sizes)
+
+    def _wire(self, src: str, dst: str, sizes: List[int]
+              ) -> Generator[Event, None, None]:
+        """One scatter-gather transaction, or two when the engine must
+        loop the data through itself (initiator and region share a
+        memory — the RNIC still bus-masters the round trip)."""
+        bus = self.engine.bus
+        if src == dst == self.engine.name:
+            return          # engine-local access, no bus transaction
+        hops = ([(src, self.engine.name), (self.engine.name, dst)]
+                if src == dst else [(src, dst)])
+        for hop_src, hop_dst in hops:
+            if len(sizes) == 1:
+                yield from bus.transfer(hop_src, hop_dst, sizes[0])
+            else:
+                yield from bus.transfer_scatter(hop_src, hop_dst, sizes)
+
+    def _apply(self, wr: WorkRequest) -> Completion:
+        """Data semantics at completion time (costs already paid)."""
+        if self._owner_dead(wr.region):
+            return self._fail(
+                wr, f"region owner {wr.region.owner} has crashed")
+        try:
+            wr.region.check(wr.offset, wr.length)
+        except RdmaError as exc:
+            return self._fail(wr, str(exc))
+        if wr.op == "read":
+            self.stats.reads += 1
+            self.stats.completed += 1
+            self.stats.bytes_read += wr.length
+            return Completion(wr_id=wr.wr_id, op="read", status="ok",
+                              value=wr.region.read_object(wr.offset))
+        if wr.op == "write":
+            wr.region.write_object(wr.offset, wr.value)
+            self.stats.writes += 1
+            self.stats.completed += 1
+            self.stats.bytes_written += wr.length
+            return Completion(wr_id=wr.wr_id, op="write", status="ok")
+        old = wr.region.compare_and_swap(wr.offset, wr.expected,
+                                         wr.desired)
+        self.stats.cas += 1
+        self.stats.completed += 1
+        return Completion(wr_id=wr.wr_id, op="cas", status="ok", value=old)
+
+    def _fail(self, wr: WorkRequest, error: str) -> Completion:
+        self.stats.failed += 1
+        return Completion(wr_id=wr.wr_id, op=wr.op, status="error",
+                          error=error)

@@ -26,7 +26,8 @@ from repro.core import marshal
 from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["bind_marshal", "bind_bus", "bind_sim", "bind_runtime",
-           "bind_injector", "bind_testbed", "check_channel_conservation"]
+           "bind_injector", "bind_rdma", "bind_testbed",
+           "check_channel_conservation", "check_rdma_conservation"]
 
 _CHANNEL_COUNTERS = (
     ("repro_channel_sent_total", "sent", "Messages sent (wire attempts)"),
@@ -146,6 +147,84 @@ def check_channel_conservation(executive) -> List[str]:
                 f"channel #{stats.channel_id} ({stats.label!r}) drop "
                 "breakdown exceeds total drops")
     return violations
+
+
+_RDMA_COUNTERS = (
+    ("repro_rdma_reads_total", "reads", "One-sided read verbs completed"),
+    ("repro_rdma_writes_total", "writes",
+     "One-sided write verbs completed"),
+    ("repro_rdma_cas_total", "cas",
+     "One-sided compare-and-swap verbs completed"),
+    ("repro_rdma_doorbells_total", "doorbells",
+     "Doorbell rings (one per submitted batch)"),
+    ("repro_rdma_posted_total", "posted", "Work requests posted"),
+    ("repro_rdma_completed_total", "completed",
+     "Work requests completed successfully"),
+    ("repro_rdma_failed_total", "failed",
+     "Work requests completed with error status"),
+    ("repro_rdma_bytes_read_total", "bytes_read",
+     "Bytes moved by one-sided reads"),
+    ("repro_rdma_bytes_written_total", "bytes_written",
+     "Bytes moved by one-sided writes"),
+)
+
+
+def check_rdma_conservation(provider) -> List[str]:
+    """The one-sided conservation law as a checkable predicate.
+
+    Verbs never traverse the two-sided dispatch path, so
+    ``sent == delivered + dropped`` cannot describe them; the one-sided
+    law is ``posted == completed + failed`` — every posted work request
+    terminates as exactly one completion, successful or errored, even
+    when the engine crashes mid-doorbell.  Returns human-readable
+    violations (empty = law holds).
+    """
+    stats = provider.stats
+    violations: List[str] = []
+    if stats.imbalance != 0:
+        violations.append(
+            f"provider {provider.name} leaks work requests: "
+            f"posted={stats.posted} completed={stats.completed} "
+            f"failed={stats.failed} (imbalance {stats.imbalance})")
+    if stats.reads + stats.writes + stats.cas != stats.completed:
+        violations.append(
+            f"provider {provider.name} verb breakdown "
+            f"(reads={stats.reads} writes={stats.writes} cas={stats.cas}) "
+            f"does not sum to completed={stats.completed}")
+    return violations
+
+
+def bind_rdma(registry: MetricsRegistry, provider, name: str) -> None:
+    """Export one RDMA provider's one-sided verb counters.
+
+    Mirrors :attr:`~repro.rdma.verbs.RdmaStats` into the registry under
+    the ``provider`` label and exports the one-sided conservation law
+    (``posted == completed + failed``) as an imbalance gauge plus a
+    violation count, the same shape as the channel law.
+    """
+    labels = {"provider": name}
+    families = [(registry.counter(metric, help=help_text,
+                                  labels=("provider",)).labels(**labels),
+                 attr)
+                for metric, attr, help_text in _RDMA_COUNTERS]
+    imbalance_gauge = registry.gauge(
+        "repro_rdma_conservation_imbalance",
+        help="posted - (completed + failed); nonzero = work requests "
+             "lost in flight",
+        labels=("provider",)).labels(**labels)
+    violation_gauge = registry.gauge(
+        "repro_rdma_conservation_violations",
+        help="RDMA providers violating the one-sided conservation law",
+        labels=("provider",)).labels(**labels)
+
+    def collect(_registry: MetricsRegistry) -> None:
+        stats = provider.stats
+        for family, attr in families:
+            family.set_total(getattr(stats, attr))
+        imbalance_gauge.set(stats.imbalance)
+        violation_gauge.set(len(check_rdma_conservation(provider)))
+
+    registry.register_collector(collect)
 
 
 def bind_runtime(registry: MetricsRegistry, runtime, name: str) -> None:
@@ -274,6 +353,10 @@ def bind_runtime(registry: MetricsRegistry, runtime, name: str) -> None:
             admission_engaged.set(1 if supervisor.admission.engaged else 0)
 
     registry.register_collector(collect)
+    # One-sided substrates ride along: every RDMA provider the runtime
+    # registered gets its verb counters and conservation gauge too.
+    for provider in getattr(runtime, "rdma_providers", {}).values():
+        bind_rdma(registry, provider, f"{name}/{provider.name}")
 
 
 def bind_injector(registry: MetricsRegistry, injector) -> None:

@@ -43,6 +43,21 @@ def test_checksum_offload_runs(capsys):
     assert "Pull dragged Checksum to nic0" in out
 
 
+def test_kv_cache_runs(capsys):
+    load_example("kv_cache").main()
+    out = capsys.readouterr().out
+    assert "kv cache demo OK" in out
+    assert "cache deployed -> disk0" in out
+    assert "speedup" in out
+
+
+def test_packet_telemetry_runs(capsys):
+    load_example("packet_telemetry").main()
+    out = capsys.readouterr().out
+    assert "packet telemetry demo OK" in out
+    assert "telemetry deployed -> nic0" in out
+
+
 @pytest.mark.slow
 def test_tivopc_demo_runs(capsys):
     load_example("tivopc_demo").main()

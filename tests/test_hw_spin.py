@@ -1,0 +1,151 @@
+"""Tests for the sPIN NIC device model: handler chains and budgets."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.hw import Machine, NicSpec
+from repro.hw.spin import (
+    DEFAULT_BUDGET_NS,
+    DROP,
+    SPIN_FEATURE,
+    TO_HOST,
+    SpinHandlers,
+    SpinNic,
+    SpinNicSpec,
+)
+from repro.net.packet import Address, Packet
+from repro.sim import Simulator
+
+
+class World:
+    def __init__(self):
+        self.sim = Simulator()
+        self.machine = Machine(self.sim)
+        self.nic = self.machine.add_spin_nic()
+        self.calls = []
+
+    def handlers(self, header=None, payload=None, completion=None,
+                 **costs):
+        """Handlers that record their invocations in ``self.calls``."""
+
+        def make(name, verdict_fn):
+            def handler(packet):
+                self.calls.append(name)
+                return verdict_fn(packet) if verdict_fn else None
+            return handler
+
+        return SpinHandlers(
+            header=make("header", header),
+            payload=make("payload", payload),
+            completion=make("completion", completion),
+            **costs)
+
+    def deliver(self, size_bytes=1024, port=9000):
+        packet = Packet(src=Address("gen", 5000),
+                        dst=Address("appliance", port),
+                        size_bytes=size_bytes, sent_at_ns=self.sim.now)
+        self.nic.receive_packet(packet)
+        self.sim.run()
+        return packet
+
+
+@pytest.fixture()
+def world():
+    return World()
+
+
+def test_spin_spec_advertises_feature():
+    assert SpinNicSpec().has_feature(SPIN_FEATURE)
+    sim = Simulator()
+    machine = Machine(sim)
+    with pytest.raises(DeviceError):
+        SpinNic(sim, machine.bus, NicSpec())     # no spin feature
+
+
+def test_budget_must_be_positive(world):
+    with pytest.raises(DeviceError):
+        world.nic.install_handlers(world.handlers(), budget_ns=0)
+
+
+def test_consumed_packet_never_reaches_host(world):
+    world.nic.install_handlers(world.handlers())
+    world.deliver()
+    assert world.calls == ["header", "payload", "completion"]
+    assert world.nic.spin_consumed == 1
+    assert world.nic.host_rx_ring.total_put == 0     # host slept through it
+
+
+def test_drop_verdict_short_circuits_payload(world):
+    world.nic.install_handlers(
+        world.handlers(header=lambda p: DROP))
+    world.deliver()
+    # Header dropped it before the payload walk; completion still runs.
+    assert world.calls == ["header", "completion"]
+    assert world.nic.spin_dropped == 1
+    assert world.nic.host_rx_ring.total_put == 0
+
+
+def test_to_host_verdict_escalates(world):
+    world.nic.install_handlers(
+        world.handlers(header=lambda p: TO_HOST))
+    world.deliver()
+    assert world.nic.spin_to_host == 1
+    assert world.nic.host_rx_ring.total_put == 1     # DMA + interrupt path
+
+
+def test_budget_overrun_punts_without_running_handlers(world):
+    world.nic.install_handlers(world.handlers())
+    # 48 kB at 0.25 ns/byte = 12 µs of payload walk: over the budget.
+    world.deliver(size_bytes=48_000)
+    assert world.nic.budget_overruns == 1
+    assert world.nic.spin_handled == 0
+    assert world.calls == []                  # admission check, not rollback
+    assert world.nic.host_rx_ring.total_put == 1
+
+
+def test_projected_cost_scales_with_size(world):
+    handlers = world.handlers()
+    assert handlers.projected_ns(1024) == 200 + 256 + 150
+    assert handlers.projected_ns(48_000) > DEFAULT_BUDGET_NS
+    # Absent handlers cost nothing.
+    assert SpinHandlers(header=lambda p: None).projected_ns(48_000) == 200
+
+
+def test_handler_time_accounted(world):
+    world.nic.install_handlers(world.handlers())
+    world.deliver(size_bytes=1024)
+    assert world.nic.handler_ns_total == 200 + 256 + 150
+
+
+def test_fence_clears_handlers(world):
+    world.nic.install_handlers(world.handlers())
+    assert world.nic.handlers_installed
+    world.nic.health.crash()
+    world.nic.fence()                 # recovery path: crash, then fence
+    assert not world.nic.handlers_installed
+    world.deliver()
+    # Post-recovery the NIC is dumb: pure host path, no handler calls.
+    assert world.calls == []
+    assert world.nic.host_rx_ring.total_put == 1
+
+
+def test_remove_handlers_restores_host_path(world):
+    world.nic.install_handlers(world.handlers())
+    world.nic.remove_handlers()
+    world.deliver()
+    assert world.calls == []
+    assert world.nic.host_rx_ring.total_put == 1
+
+
+def test_counters_partition_received_packets(world):
+    verdicts = iter([None, DROP, TO_HOST, None])
+    world.nic.install_handlers(
+        world.handlers(header=lambda p: next(verdicts)))
+    for _ in range(4):
+        world.deliver()
+    world.deliver(size_bytes=48_000)          # the overrun
+    nic = world.nic
+    assert nic.spin_handled == 4
+    assert (nic.spin_consumed, nic.spin_dropped, nic.spin_to_host) == (2, 1, 1)
+    assert nic.budget_overruns == 1
+    assert nic.spin_handled + nic.budget_overruns == nic.rx_packets
